@@ -1,0 +1,112 @@
+//===- bench/bench_certification.cpp - E8: promise certification cost --------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E8 (DESIGN.md): the cost of the §3 machinery —
+//  * capped-memory construction as the memory grows;
+//  * certification of a fulfillable promise (succeeds) vs. an
+//    out-of-thin-air promise (fails after exhausting the isolated runs);
+//  * the promise-on vs. promise-off exploration gap on LB, which is the
+//    price the semantics pays for load-buffering behaviors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "lang/Parser.h"
+#include "litmus/Litmus.h"
+#include "ps/Certification.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psopt;
+
+static void BM_CappedMemory(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  VarId X("bench_cap_x");
+  Memory M = Memory::initial({X});
+  for (unsigned I = 0; I < N; ++I)
+    M.insert(Message::concrete(X, static_cast<Val>(I), Time(2 * I + 1),
+                               Time(2 * I + 2), View{}));
+  for (auto _ : State) {
+    Memory Capped = M.capped(0);
+    benchmark::DoNotOptimize(Capped.messages(X).size());
+  }
+  State.counters["messages"] = N;
+}
+BENCHMARK(BM_CappedMemory)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+namespace {
+
+struct CertSetup {
+  Program P;
+  ThreadState TS;
+  Memory M;
+
+  CertSetup(const char *Src, Val PromisedVal) {
+    P = parseProgramOrDie(Src);
+    std::set<VarId> Vars = P.referencedVars();
+    for (VarId X : P.atomics())
+      Vars.insert(X);
+    M = Memory::initial(Vars);
+    TS.Local = *LocalState::start(P, P.threads()[0]);
+    Message Prm = Message::concrete(VarId("y"), PromisedVal, Time(1), Time(2),
+                                    View{});
+    Prm.Owner = 0;
+    Prm.IsPromise = true;
+    M.insert(Prm);
+  }
+};
+
+} // namespace
+
+static void BM_CertifySuccess(benchmark::State &State) {
+  CertSetup S(R"(var x atomic; var y atomic;
+    func f { block 0: r1 := x.rlx; y.rlx := 1; ret; } thread f;)", 1);
+  bool Ok = false;
+  for (auto _ : State) {
+    Ok = consistent(S.P, 0, S.TS, S.M, StepConfig{});
+  }
+  State.counters["consistent"] = Ok ? 1 : 0;
+}
+BENCHMARK(BM_CertifySuccess);
+
+static void BM_CertifyOutOfThinAir(benchmark::State &State) {
+  CertSetup S(R"(var x atomic; var y atomic;
+    func f { block 0: r1 := x.rlx; y.rlx := r1; ret; } thread f;)", 1);
+  bool Ok = true;
+  for (auto _ : State) {
+    Ok = consistent(S.P, 0, S.TS, S.M, StepConfig{});
+  }
+  State.counters["consistent"] = Ok ? 1 : 0; // expected 0
+}
+BENCHMARK(BM_CertifyOutOfThinAir);
+
+static void BM_LbWithPromises(benchmark::State &State) {
+  const LitmusTest &T = litmus("lb");
+  StepConfig SC;
+  SC.EnablePromises = true;
+  BehaviorSet B;
+  for (auto _ : State) {
+    B = exploreInterleaving(T.Prog, SC);
+  }
+  State.counters["nodes"] = static_cast<double>(B.NodesVisited);
+  State.counters["lb_outcome"] = B.hasDoneMultiset({1, 1}) ? 1 : 0;
+}
+BENCHMARK(BM_LbWithPromises);
+
+static void BM_LbWithoutPromises(benchmark::State &State) {
+  const LitmusTest &T = litmus("lb");
+  StepConfig SC;
+  SC.EnablePromises = false;
+  BehaviorSet B;
+  for (auto _ : State) {
+    B = exploreInterleaving(T.Prog, SC);
+  }
+  State.counters["nodes"] = static_cast<double>(B.NodesVisited);
+  State.counters["lb_outcome"] = B.hasDoneMultiset({1, 1}) ? 1 : 0; // 0
+}
+BENCHMARK(BM_LbWithoutPromises);
+
+BENCHMARK_MAIN();

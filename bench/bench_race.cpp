@@ -1,0 +1,69 @@
+//===- bench/bench_race.cpp - E3: race checking ------------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E3 (DESIGN.md): ww-RF checking over both machines for every
+// litmus program. Counters record the verdict (must match the ground truth
+// in the litmus registry, in particular Fig 4 = race-free) and the number
+// of states the detector had to visit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+#include "race/RWRace.h"
+#include "race/WWRace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psopt;
+
+static void runWW(benchmark::State &State, const LitmusTest &T,
+                  bool NonPreemptive) {
+  StepConfig SC = T.SuggestedConfig();
+  RaceCheckResult Last;
+  for (auto _ : State) {
+    Last = NonPreemptive ? checkWWRaceFreedomNP(T.Prog, SC)
+                         : checkWWRaceFreedom(T.Prog, SC);
+  }
+  State.counters["race_free"] = Last.RaceFree ? 1 : 0;
+  State.counters["matches_ground_truth"] =
+      Last.RaceFree == T.IsWWRaceFree ? 1 : 0;
+  State.counters["states"] = static_cast<double>(Last.StatesChecked);
+}
+
+static void runRW(benchmark::State &State, const LitmusTest &T) {
+  StepConfig SC = T.SuggestedConfig();
+  RaceCheckResult Last;
+  for (auto _ : State) {
+    Last = checkRWRaceFreedom(T.Prog, SC);
+  }
+  State.counters["race_free"] = Last.RaceFree ? 1 : 0;
+  State.counters["states"] = static_cast<double>(Last.StatesChecked);
+}
+
+int main(int argc, char **argv) {
+  for (const LitmusTest &T : allLitmusTests()) {
+    const LitmusTest *TP = &T;
+    benchmark::RegisterBenchmark(
+        ("race/wwrf/interleaving/" + T.Name).c_str(),
+        [TP](benchmark::State &S) { runWW(S, *TP, false); });
+    benchmark::RegisterBenchmark(
+        ("race/wwrf/nonpreemptive/" + T.Name).c_str(),
+        [TP](benchmark::State &S) { runWW(S, *TP, true); });
+  }
+  // The §2.5 demonstration pair: LInv's target is rw-racy, the source not.
+  benchmark::RegisterBenchmark("race/rwrf/fig5_src",
+                               [](benchmark::State &S) {
+                                 runRW(S, litmus("fig5_src"));
+                               });
+  benchmark::RegisterBenchmark("race/rwrf/fig5_tgt",
+                               [](benchmark::State &S) {
+                                 runRW(S, litmus("fig5_tgt"));
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/optimize_pipeline.cpp - A realistic optimization pipeline ----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// A producer/consumer handoff, optimized with the full verified pipeline
+// (ConstProp → DCE → CSE → LICM), with every intermediate result checked
+// for refinement and ww-race-freedom preservation — the workflow Lm 6.2's
+// vertical composition justifies. Each pass has something to do:
+//
+//   * ConstProp folds the staging computation 6 * 7;
+//   * DCE kills the store that is overwritten before the release;
+//   * CSE forwards the staged value instead of re-loading it;
+//   * LICM hoists the loop-invariant read out of the consumer's loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "explore/Refinement.h"
+#include "lang/Printer.h"
+#include "lang/Parser.h"
+#include "opt/Pass.h"
+#include "race/WWRace.h"
+#include "support/Statistic.h"
+
+#include <cstdio>
+
+using namespace psopt;
+
+int main() {
+  Program Source = parseProgramOrDie(R"(
+    var slot;            # the handoff cell
+    var scratch;         # producer-local staging
+    var flag atomic;
+
+    func producer {
+    block 0:
+      r1 := 6;
+      r2 := r1 * 7;      # ConstProp folds this to 42
+      scratch.na := 13;  # DCE: dead, overwritten before the release
+      scratch.na := r2;
+      v1 := scratch.na;  # CSE: forwarded from the store
+      slot.na := v1;
+      flag.rel := 1;
+      ret;
+    }
+
+    func consumer {
+    block 0:
+      r := flag.acq;
+      be r == 1, 1, 3;
+    block 1:            # sum the slot twice; the read is loop-invariant
+      i := 0; acc := 0; jmp 2;
+    block 2:
+      v := slot.na;      # LICM hoists this read
+      acc := acc + v;
+      i := i + 1;
+      be i < 2, 2, 4;
+    block 3:
+      print(-1);
+      ret;
+    block 4:
+      print(acc);
+      ret;
+    }
+
+    thread producer;
+    thread consumer;
+  )");
+
+  std::printf("=== source ===\n%s\n", printProgram(Source).c_str());
+
+  // Promise-free exploration suffices here: none of the interesting
+  // behaviors of this program depend on promised writes.
+  StepConfig SC;
+  SC.EnablePromises = false;
+
+  BehaviorSet SrcB = exploreInterleaving(Source, SC);
+  std::printf("source behaviors:\n%s\n", SrcB.str().c_str());
+  RaceCheckResult SrcRace = checkWWRaceFreedom(Source, SC);
+  std::printf("source ww-race-free: %s\n\n", SrcRace ? "yes" : "NO");
+
+  Program Cur = Source;
+  for (const auto &P : createAllVerifiedPasses()) {
+    Program Next = P->run(Cur);
+    BehaviorSet NB = exploreInterleaving(Next, SC);
+    RefinementResult R = checkRefinement(NB, SrcB);
+    RaceCheckResult Race = checkWWRaceFreedom(Next, SC);
+    std::printf("after %-10s refinement vs source: %-6s ww-RF: %s\n",
+                P->name(), R.Holds ? "HOLDS" : "FAILS",
+                Race ? "preserved" : "BROKEN");
+    Cur = std::move(Next);
+  }
+
+  std::printf("\n=== fully optimized ===\n%s\n", printProgram(Cur).c_str());
+  std::printf("pass statistics:\n%s", formatStatistics().c_str());
+  return 0;
+}

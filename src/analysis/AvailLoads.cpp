@@ -1,0 +1,195 @@
+//===- analysis/AvailLoads.cpp - Available loads and expressions ---------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AvailLoads.h"
+#include "analysis/Dataflow.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+std::optional<RegId> AvailFact::regForVar(VarId X) const {
+  auto It = LoadEqs.find(X);
+  if (It == LoadEqs.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<RegId> AvailFact::regForExpr(const ExprRef &E) const {
+  for (const auto &[R, Expr_] : ExprEqs)
+    if (Expr::equal(Expr_, E))
+      return R;
+  return std::nullopt;
+}
+
+void AvailFact::setLoadEq(VarId X, RegId R) { LoadEqs[X] = R; }
+
+void AvailFact::addExprEq(RegId R, ExprRef E) { ExprEqs[R] = std::move(E); }
+
+void AvailFact::killReg(RegId R) {
+  for (auto It = LoadEqs.begin(); It != LoadEqs.end();) {
+    if (It->second == R)
+      It = LoadEqs.erase(It);
+    else
+      ++It;
+  }
+  for (auto It = ExprEqs.begin(); It != ExprEqs.end();) {
+    if (It->first == R || It->second->usesReg(R))
+      It = ExprEqs.erase(It);
+    else
+      ++It;
+  }
+}
+
+void AvailFact::killVar(VarId X) { LoadEqs.erase(X); }
+
+void AvailFact::killAllLoads() { LoadEqs.clear(); }
+
+void AvailFact::clear() {
+  LoadEqs.clear();
+  ExprEqs.clear();
+}
+
+bool AvailFact::meet(const AvailFact &O) {
+  bool Changed = false;
+  for (auto It = LoadEqs.begin(); It != LoadEqs.end();) {
+    auto OIt = O.LoadEqs.find(It->first);
+    if (OIt == O.LoadEqs.end() || !(OIt->second == It->second)) {
+      It = LoadEqs.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  for (auto It = ExprEqs.begin(); It != ExprEqs.end();) {
+    auto OIt = O.ExprEqs.find(It->first);
+    if (OIt == O.ExprEqs.end() || !Expr::equal(OIt->second, It->second)) {
+      It = ExprEqs.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+bool AvailFact::operator==(const AvailFact &O) const {
+  if (LoadEqs != O.LoadEqs || ExprEqs.size() != O.ExprEqs.size())
+    return false;
+  for (const auto &[R, E] : ExprEqs) {
+    auto It = O.ExprEqs.find(R);
+    if (It == O.ExprEqs.end() || !Expr::equal(It->second, E))
+      return false;
+  }
+  return true;
+}
+
+std::string AvailFact::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[X, R] : LoadEqs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += R.str() + " == " + X.str();
+  }
+  for (const auto &[R, E] : ExprEqs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += R.str() + " == " + E->str();
+  }
+  return Out + "}";
+}
+
+AvailFact availTransfer(const Program &P, const Instr &I, AvailFact Before) {
+  switch (I.kind()) {
+  case Instr::Kind::Skip:
+  case Instr::Kind::Print:
+    return Before;
+  case Instr::Kind::Assign: {
+    RegId D = I.dest();
+    const ExprRef &E = I.expr();
+    // A self-referential assign (r := r + 1) invalidates without installing.
+    Before.killReg(D);
+    if (!E->usesReg(D) && !E->isConst())
+      Before.addExprEq(D, E);
+    return Before;
+  }
+  case Instr::Kind::Load: {
+    RegId D = I.dest();
+    VarId X = I.var();
+    Before.killReg(D);
+    if (I.readMode() == ReadMode::ACQ) {
+      // Acquire barrier: every remembered load may now be stale.
+      Before.killAllLoads();
+      return Before;
+    }
+    // First equation wins: an earlier register holding x's value stays a
+    // valid copy source after further loads, and keeping it stable lets
+    // the equation survive loop joins (the preheader equation must not be
+    // displaced by the body load it will later replace).
+    if (I.readMode() == ReadMode::NA && !Before.regForVar(X))
+      Before.setLoadEq(X, D);
+    // Relaxed loads cross fine but are not themselves remembered: CSE only
+    // rewrites non-atomic accesses (§1: optimizations on na accesses only).
+    return Before;
+  }
+  case Instr::Kind::Store: {
+    VarId X = I.var();
+    if (I.writeMode() == WriteMode::NA) {
+      Before.killVar(X);
+      // Store-to-load forwarding: after x := r the register holds x's
+      // current value. Constants and compound expressions are not
+      // forwarded (they have no register to reuse).
+      if (I.expr()->isReg())
+        Before.setLoadEq(X, I.expr()->reg());
+      return Before;
+    }
+    // Atomic (rlx/rel) writes do not touch non-atomic equations: release
+    // writes publish, they do not acquire (§7.2: LICM may cross a relaxed
+    // read/write or a release write).
+    (void)P;
+    return Before;
+  }
+  case Instr::Kind::Cas:
+    // CAS has a read part that may synchronize: conservative barrier.
+    Before.killReg(I.dest());
+    Before.killAllLoads();
+    return Before;
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+AvailResult analyzeAvailLoads(const Program &P, const Function &F,
+                              const Cfg &G) {
+  auto TransferBlock = [&](BlockLabel, const BasicBlock &B, AvailFact In) {
+    for (const Instr &I : B.instructions())
+      In = availTransfer(P, I, std::move(In));
+    if (B.terminator().isCall())
+      In.clear();
+    return In;
+  };
+  auto Meet = [](AvailFact &A, const AvailFact &B) { return A.meet(B); };
+
+  std::map<BlockLabel, AvailFact> In =
+      solveForward(F, G, AvailFact{}, Meet, TransferBlock);
+
+  AvailResult R;
+  for (BlockLabel L : G.rpo()) {
+    const BasicBlock &B = F.block(L);
+    AvailFact Cur = In.at(L);
+    std::vector<AvailFact> Before;
+    Before.reserve(B.size());
+    for (const Instr &I : B.instructions()) {
+      Before.push_back(Cur);
+      Cur = availTransfer(P, I, std::move(Cur));
+    }
+    R.BeforeInstr[L] = std::move(Before);
+  }
+  return R;
+}
+
+} // namespace psopt

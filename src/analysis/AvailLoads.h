@@ -1,0 +1,99 @@
+//===- analysis/AvailLoads.h - Available loads and expressions --*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward availability analysis behind CSE (and hence LICM = LInv ∘ CSE).
+/// Two kinds of facts:
+///
+///  * load equations  r == x  — register r holds a value the thread has
+///    read from (or written to) non-atomic location x, and no event since
+///    could change which value the paired access produces;
+///  * expression equations  r == e  — register r holds the value of the
+///    register-only expression e.
+///
+/// The weak-memory adaptation (§1, §7.2): load equations survive relaxed
+/// reads/writes and release writes, but are killed by *acquire reads* (and
+/// by CAS, whose read part may synchronize, and by calls). An acquire read
+/// may bring new writes of x into view; reusing the stale register after it
+/// would produce a value the source could no longer read (this is exactly
+/// the Fig 1 counterexample).
+///
+/// Local kills: a load equation r == x dies when r is redefined or when x
+/// is overwritten by this thread (the new store installs a fresh equation
+/// when its value is a register or constant: store-to-load forwarding). An
+/// expression equation dies when any mentioned register is redefined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_AVAILLOADS_H
+#define PSOPT_ANALYSIS_AVAILLOADS_H
+
+#include "analysis/Cfg.h"
+#include "lang/Program.h"
+
+#include <map>
+#include <optional>
+
+namespace psopt {
+
+/// Availability fact: a conjunction of equations.
+class AvailFact {
+public:
+  /// A register currently known to hold x's value, if any.
+  std::optional<RegId> regForVar(VarId X) const;
+
+  /// A register currently known to hold e's value, if any (structural
+  /// lookup).
+  std::optional<RegId> regForExpr(const ExprRef &E) const;
+
+  /// Installs r == x (replacing any previous equation for x).
+  void setLoadEq(VarId X, RegId R);
+
+  /// Installs r == e.
+  void addExprEq(RegId R, ExprRef E);
+
+  /// Kills every equation mentioning \p R (as source or target).
+  void killReg(RegId R);
+
+  /// Kills the load equation for \p X.
+  void killVar(VarId X);
+
+  /// Kills every load equation (acquire-read barrier).
+  void killAllLoads();
+
+  /// Kills everything (call barrier).
+  void clear();
+
+  /// Meet: intersection of equations. True when changed.
+  bool meet(const AvailFact &O);
+
+  bool operator==(const AvailFact &O) const;
+
+  std::string str() const;
+
+private:
+  // x -> r with r == x.
+  std::map<VarId, RegId> LoadEqs;
+  // r -> e with r == e (at most one expression remembered per register).
+  std::map<RegId, ExprRef> ExprEqs;
+};
+
+/// Forward per-instruction transfer (fact before → fact after). \p IsAtomic
+/// tells whether a variable is in ι.
+AvailFact availTransfer(const Program &P, const Instr &I, AvailFact Before);
+
+/// Result: facts before each instruction.
+struct AvailResult {
+  std::map<BlockLabel, std::vector<AvailFact>> BeforeInstr;
+};
+
+/// Runs the analysis on \p F.
+AvailResult analyzeAvailLoads(const Program &P, const Function &F,
+                              const Cfg &G);
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_AVAILLOADS_H

@@ -1,0 +1,74 @@
+//===- analysis/Cfg.cpp - Control-flow graph utilities -----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <set>
+
+namespace psopt {
+
+Cfg Cfg::build(const Function &F) {
+  Cfg G;
+  G.Entry = F.entry();
+
+  // Depth-first search computing post-order.
+  std::vector<BlockLabel> PostOrder;
+  std::set<BlockLabel> Visited;
+  // Explicit stack with a "children done" marker.
+  std::vector<std::pair<BlockLabel, bool>> Stack{{F.entry(), false}};
+  while (!Stack.empty()) {
+    auto [L, Done] = Stack.back();
+    Stack.pop_back();
+    if (Done) {
+      PostOrder.push_back(L);
+      continue;
+    }
+    if (!Visited.insert(L).second)
+      continue;
+    if (!F.hasBlock(L))
+      continue; // Dangling target; the validator reports it separately.
+    Stack.push_back({L, true});
+    std::vector<BlockLabel> Succ = F.block(L).terminator().successors();
+    G.Succs[L] = Succ;
+    for (BlockLabel S : Succ)
+      Stack.push_back({S, false});
+  }
+
+  G.Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < G.Rpo.size(); ++I)
+    G.RpoIndex[G.Rpo[I]] = I;
+
+  for (const auto &[L, Succ] : G.Succs)
+    for (BlockLabel S : Succ)
+      if (G.RpoIndex.count(S))
+        G.Preds[S].push_back(L);
+  // Determinize predecessor order.
+  for (auto &[L, P] : G.Preds)
+    std::sort(P.begin(), P.end());
+  return G;
+}
+
+unsigned Cfg::rpoIndex(BlockLabel L) const {
+  auto It = RpoIndex.find(L);
+  PSOPT_CHECK(It != RpoIndex.end(), "rpoIndex of unreachable block");
+  return It->second;
+}
+
+const std::vector<BlockLabel> &Cfg::successors(BlockLabel L) const {
+  static const std::vector<BlockLabel> Empty;
+  auto It = Succs.find(L);
+  return It == Succs.end() ? Empty : It->second;
+}
+
+const std::vector<BlockLabel> &Cfg::predecessors(BlockLabel L) const {
+  static const std::vector<BlockLabel> Empty;
+  auto It = Preds.find(L);
+  return It == Preds.end() ? Empty : It->second;
+}
+
+} // namespace psopt

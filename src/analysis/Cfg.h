@@ -1,0 +1,54 @@
+//===- analysis/Cfg.h - Control-flow graph utilities ------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph over a function's code heap: successor/predecessor
+/// maps restricted to blocks reachable from the entry, and a reverse
+/// post-order for dataflow iteration. Call terminators are intra-procedural
+/// edges to their return label (the analyses treat the call itself as a
+/// barrier, see Liveness/ConstAnalysis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_CFG_H
+#define PSOPT_ANALYSIS_CFG_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace psopt {
+
+/// The CFG of one function.
+class Cfg {
+public:
+  /// Builds the CFG of \p F (reachable blocks only).
+  static Cfg build(const Function &F);
+
+  const std::vector<BlockLabel> &rpo() const { return Rpo; }
+
+  /// Reverse post-order position of \p L (for worklist priorities).
+  unsigned rpoIndex(BlockLabel L) const;
+
+  const std::vector<BlockLabel> &successors(BlockLabel L) const;
+  const std::vector<BlockLabel> &predecessors(BlockLabel L) const;
+
+  bool isReachable(BlockLabel L) const { return RpoIndex.count(L) != 0; }
+
+  BlockLabel entry() const { return Entry; }
+
+private:
+  BlockLabel Entry = 0;
+  std::vector<BlockLabel> Rpo;
+  std::map<BlockLabel, unsigned> RpoIndex;
+  std::map<BlockLabel, std::vector<BlockLabel>> Succs;
+  std::map<BlockLabel, std::vector<BlockLabel>> Preds;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_CFG_H

@@ -1,0 +1,94 @@
+//===- analysis/ConstAnalysis.cpp - Register constant analysis ----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstAnalysis.h"
+#include "analysis/Dataflow.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+bool ConstFact::meet(const ConstFact &O) {
+  // Keep entries that O agrees on; drop the rest (⊤).
+  bool Changed = false;
+  for (auto It = Consts.begin(); It != Consts.end();) {
+    auto OIt = O.Consts.find(It->first);
+    if (OIt == O.Consts.end() || OIt->second != It->second) {
+      It = Consts.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+std::string ConstFact::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[R, V] : Consts) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += R.str() + "=" + std::to_string(V);
+  }
+  return Out + "}";
+}
+
+ConstFact constTransfer(const Instr &I, ConstFact Before) {
+  switch (I.kind()) {
+  case Instr::Kind::Skip:
+  case Instr::Kind::Print:
+  case Instr::Kind::Store:
+    return Before;
+  case Instr::Kind::Assign: {
+    ExprRef Folded = Expr::fold(
+        I.expr(), [&](RegId R) { return Before.get(R); });
+    if (Folded->isConst())
+      Before.set(I.dest(), Folded->constValue());
+    else
+      Before.setUnknown(I.dest());
+    return Before;
+  }
+  case Instr::Kind::Load:
+  case Instr::Kind::Cas:
+    // Loads and CAS results are unknowable thread-locally.
+    Before.setUnknown(I.dest());
+    return Before;
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+ConstResult analyzeConstants(const Function &F, const Cfg &G) {
+  auto TransferBlock = [&](BlockLabel, const BasicBlock &B, ConstFact In) {
+    for (const Instr &I : B.instructions())
+      In = constTransfer(I, std::move(In));
+    // Terminators define nothing; calls clobber registers conservatively.
+    if (B.terminator().isCall())
+      In.clear();
+    return In;
+  };
+  auto Meet = [](ConstFact &A, const ConstFact &B) { return A.meet(B); };
+
+  std::map<BlockLabel, ConstFact> In =
+      solveForward(F, G, ConstFact{}, Meet, TransferBlock);
+
+  ConstResult R;
+  for (BlockLabel L : G.rpo()) {
+    const BasicBlock &B = F.block(L);
+    ConstFact Cur = In.at(L);
+    std::vector<ConstFact> Before;
+    Before.reserve(B.size());
+    for (const Instr &I : B.instructions()) {
+      Before.push_back(Cur);
+      Cur = constTransfer(I, std::move(Cur));
+    }
+    R.BeforeInstr[L] = std::move(Before);
+    R.BeforeTerm[L] = std::move(Cur);
+  }
+  return R;
+}
+
+} // namespace psopt

@@ -1,0 +1,79 @@
+//===- analysis/ConstAnalysis.h - Register constant analysis ----*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward constant analysis over registers, the analysis behind ConstProp
+/// (§7.2: CompCert-style dataflow optimization). The value lattice per
+/// register is the flat lattice  ⊥ (unset) ⊑ const v ⊑ ⊤ (unknown).
+///
+/// Memory is never tracked: loads produce ⊤. This keeps the transformation
+/// trace-preserving on memory accesses (category 1 of §7.2) — ConstProp
+/// rewrites expressions and branch conditions only, so its correctness in
+/// PS2.1 does not depend on access modes at all, matching the paper's use
+/// of the strong invariant Iid for its proof.
+///
+/// The function entry is all-⊤: registers may carry caller values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_CONSTANALYSIS_H
+#define PSOPT_ANALYSIS_CONSTANALYSIS_H
+
+#include "analysis/Cfg.h"
+#include "lang/Program.h"
+
+#include <map>
+#include <optional>
+
+namespace psopt {
+
+/// Register facts: absent = ⊤ (unknown); present = known constant. The ⊥
+/// (unreached) element is represented at the block level (blocks without a
+/// fact are unreached).
+class ConstFact {
+public:
+  /// The known constant value of \p R, if any.
+  std::optional<Val> get(RegId R) const {
+    auto It = Consts.find(R);
+    if (It == Consts.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void set(RegId R, Val V) { Consts[R] = V; }
+  void setUnknown(RegId R) { Consts.erase(R); }
+  void clear() { Consts.clear(); }
+
+  /// Pointwise meet: keeps only agreeing constants. True when changed.
+  bool meet(const ConstFact &O);
+
+  bool operator==(const ConstFact &O) const { return Consts == O.Consts; }
+
+  std::string str() const;
+
+private:
+  std::map<RegId, Val> Consts;
+};
+
+/// Forward per-instruction transfer: fact before \p I → fact after.
+ConstFact constTransfer(const Instr &I, ConstFact Before);
+
+/// Result: the fact *before* each instruction, which is what the rewriter
+/// needs (fold the instruction's operands with the facts holding on entry
+/// to it).
+struct ConstResult {
+  /// BeforeInstr[L][I] = constant facts before instruction I of block L.
+  std::map<BlockLabel, std::vector<ConstFact>> BeforeInstr;
+  /// Facts before the terminator of block L.
+  std::map<BlockLabel, ConstFact> BeforeTerm;
+};
+
+/// Runs the analysis on \p F.
+ConstResult analyzeConstants(const Function &F, const Cfg &G);
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_CONSTANALYSIS_H

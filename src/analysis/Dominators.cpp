@@ -1,0 +1,65 @@
+//===- analysis/Dominators.cpp - Dominator computation ------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+namespace psopt {
+
+Dominators Dominators::compute(const Cfg &G) {
+  Dominators D;
+  const std::vector<BlockLabel> &Rpo = G.rpo();
+  if (Rpo.empty())
+    return D;
+
+  std::set<BlockLabel> All(Rpo.begin(), Rpo.end());
+  for (BlockLabel L : Rpo)
+    D.Dom[L] = (L == G.entry()) ? std::set<BlockLabel>{L} : All;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockLabel L : Rpo) {
+      if (L == G.entry())
+        continue;
+      std::set<BlockLabel> NewDom;
+      bool First = true;
+      for (BlockLabel P : G.predecessors(L)) {
+        const std::set<BlockLabel> &PD = D.Dom[P];
+        if (First) {
+          NewDom = PD;
+          First = false;
+        } else {
+          std::set<BlockLabel> Tmp;
+          std::set_intersection(NewDom.begin(), NewDom.end(), PD.begin(),
+                                PD.end(), std::inserter(Tmp, Tmp.begin()));
+          NewDom = std::move(Tmp);
+        }
+      }
+      NewDom.insert(L);
+      if (NewDom != D.Dom[L]) {
+        D.Dom[L] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+bool Dominators::dominates(BlockLabel A, BlockLabel B) const {
+  auto It = Dom.find(B);
+  return It != Dom.end() && It->second.count(A) != 0;
+}
+
+const std::set<BlockLabel> &Dominators::dominatorsOf(BlockLabel L) const {
+  auto It = Dom.find(L);
+  PSOPT_CHECK(It != Dom.end(), "dominators of unreachable block");
+  return It->second;
+}
+
+} // namespace psopt

@@ -1,0 +1,40 @@
+//===- analysis/Dominators.h - Dominator computation ------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator sets via the classic iterative dataflow formulation (adequate
+/// for CSimpRTL-sized functions), used by natural-loop detection for LInv.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_DOMINATORS_H
+#define PSOPT_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+#include <set>
+
+namespace psopt {
+
+/// Dominator information for one function.
+class Dominators {
+public:
+  /// Computes dominators over \p G.
+  static Dominators compute(const Cfg &G);
+
+  /// True iff \p A dominates \p B (reflexive).
+  bool dominates(BlockLabel A, BlockLabel B) const;
+
+  /// The set of blocks dominating \p L (including L itself).
+  const std::set<BlockLabel> &dominatorsOf(BlockLabel L) const;
+
+private:
+  std::map<BlockLabel, std::set<BlockLabel>> Dom;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_DOMINATORS_H

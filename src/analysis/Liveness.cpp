@@ -1,0 +1,170 @@
+//===- analysis/Liveness.cpp - Liveness with the release rule ------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/Dataflow.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+LiveUniverse LiveUniverse::of(const Program &P) {
+  LiveUniverse U;
+  for (const auto &[Name, F] : P.code()) {
+    for (const auto &[L, B] : F.blocks()) {
+      for (const Instr &I : B.instructions()) {
+        for (RegId R : I.usedRegs())
+          U.Regs.insert(R);
+        if (auto D = I.definedReg())
+          U.Regs.insert(*D);
+        if (I.accessesMemory() && !P.isAtomic(I.var()))
+          U.Vars.insert(I.var());
+      }
+      if (B.terminator().isBe()) {
+        std::set<RegId> CondRegs;
+        B.terminator().cond()->collectRegs(CondRegs);
+        U.Regs.insert(CondRegs.begin(), CondRegs.end());
+      }
+    }
+  }
+  return U;
+}
+
+LiveSet LiveSet::allOf(const LiveUniverse &U) {
+  LiveSet L;
+  L.Regs = U.Regs;
+  L.Vars = U.Vars;
+  return L;
+}
+
+bool LiveSet::join(const LiveSet &O) {
+  bool Changed = false;
+  for (RegId R : O.Regs)
+    Changed |= Regs.insert(R).second;
+  for (VarId X : O.Vars)
+    Changed |= Vars.insert(X).second;
+  return Changed;
+}
+
+std::string LiveSet::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (RegId R : Regs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += R.str();
+  }
+  for (VarId X : Vars) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += X.str();
+  }
+  return Out + "}";
+}
+
+LiveSet livenessTransfer(const Instr &I, const LiveSet &After,
+                         const LiveUniverse &U) {
+  LiveSet Before = After;
+  switch (I.kind()) {
+  case Instr::Kind::Skip:
+    return Before;
+  case Instr::Kind::Assign:
+    Before.killReg(I.dest());
+    for (RegId R : I.usedRegs())
+      Before.addReg(R);
+    return Before;
+  case Instr::Kind::Print:
+    for (RegId R : I.usedRegs())
+      Before.addReg(R);
+    return Before;
+  case Instr::Kind::Load:
+    // A read makes the location live; the destination register is killed.
+    // Crossing is fine for any read mode (na, rlx, acq) — §7.1.
+    Before.killReg(I.dest());
+    Before.addVar(I.var()); // No-op for atomic vars (outside the universe).
+    return Before;
+  case Instr::Kind::Store:
+    if (I.writeMode() == WriteMode::REL) {
+      // Release rule: everything written before the release is observable
+      // through a release-acquire synchronization.
+      Before.addAllVars(U);
+    } else {
+      Before.killVar(I.var()); // No-op for atomic (rlx) stores.
+    }
+    for (RegId R : I.usedRegs())
+      Before.addReg(R);
+    return Before;
+  case Instr::Kind::Cas:
+    Before.killReg(I.dest());
+    if (I.writeMode() == WriteMode::REL)
+      Before.addAllVars(U); // Release rule applies to the write part.
+    for (RegId R : I.usedRegs())
+      Before.addReg(R);
+    return Before;
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+LiveSet livenessTerminatorTransfer(const Terminator &T, const LiveSet &After,
+                                   const LiveUniverse &U) {
+  LiveSet Before = After;
+  switch (T.kind()) {
+  case Terminator::Kind::Jmp:
+    return Before;
+  case Terminator::Kind::Be: {
+    std::set<RegId> CondRegs;
+    T.cond()->collectRegs(CondRegs);
+    for (RegId R : CondRegs)
+      Before.addReg(R);
+    return Before;
+  }
+  case Terminator::Kind::Call:
+    // Conservative barrier: the callee may use any register or publish any
+    // variable (it may contain release writes).
+    return LiveSet::allOf(U);
+  case Terminator::Kind::Ret:
+    // Handled by the boundary fact; `ret` itself neither uses nor defines.
+    return Before;
+  }
+  PSOPT_UNREACHABLE("bad terminator kind");
+}
+
+LivenessResult analyzeLiveness(const Function &F, const Cfg &G,
+                               const LiveUniverse &U) {
+  // Block-level transfer: exit fact → entry fact.
+  auto TransferBlock = [&](BlockLabel, const BasicBlock &B,
+                           const LiveSet &Exit) {
+    LiveSet Cur = livenessTerminatorTransfer(B.terminator(), Exit, U);
+    for (auto It = B.instructions().rbegin(); It != B.instructions().rend();
+         ++It)
+      Cur = livenessTransfer(*It, Cur, U);
+    return Cur;
+  };
+  auto Join = [](LiveSet &A, const LiveSet &B) { return A.join(B); };
+
+  // Boundary at ret: everything live — the caller (or a later release by
+  // the caller) may consume any register or republish any variable.
+  std::map<BlockLabel, LiveSet> Exit = solveBackward(
+      F, G, LiveSet::allOf(U), LiveSet::bottom(), Join, TransferBlock);
+
+  // Replay within blocks to produce per-instruction "after" facts.
+  LivenessResult R;
+  for (BlockLabel L : G.rpo()) {
+    const BasicBlock &B = F.block(L);
+    LiveSet Cur = Exit.at(L);
+    Cur = livenessTerminatorTransfer(B.terminator(), Cur, U);
+    std::vector<LiveSet> After(B.size());
+    for (std::size_t I = B.size(); I-- > 0;) {
+      After[I] = Cur;
+      Cur = livenessTransfer(B.instructions()[I], Cur, U);
+    }
+    R.AfterInstr[L] = std::move(After);
+  }
+  return R;
+}
+
+} // namespace psopt

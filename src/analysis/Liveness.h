@@ -1,0 +1,110 @@
+//===- analysis/Liveness.h - Liveness with the release rule -----*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backward liveness analysis Lv_Analyzer of §7.1. It computes, for
+/// every program point, the set of live registers and live non-atomic
+/// variables; DCE (Translate_rdce) eliminates writes whose destination is
+/// dead after the write.
+///
+/// The weak-memory adaptation is the *release rule* (Fig 15): at a release
+/// write (or a CAS with a release write part) every variable becomes live,
+/// because the release may synchronize with an acquire read in another
+/// thread that then expects to observe every earlier unoverwritten write.
+/// Crossing relaxed reads/writes and acquire reads is allowed (§7: "it is
+/// sound to perform DCE across relaxed writes and atomic (acquire/relaxed)
+/// reads as well as non-atomic reads and writes").
+///
+/// "Every variable live" must still interact correctly with kills: in
+/// `x := 5; x := 6; y.rel := 1` the first store is dead (overwritten before
+/// the release), so the all-live fact is a *concrete* set drawn from a
+/// universe — the variables and registers mentioned anywhere in the
+/// program — rather than an absorbing top element.
+///
+/// Calls and returns are conservative barriers: everything is live there
+/// (the callee/caller may use any register, and a post-return release write
+/// would republish any variable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_LIVENESS_H
+#define PSOPT_ANALYSIS_LIVENESS_H
+
+#include "analysis/Cfg.h"
+#include "lang/Program.h"
+
+#include <set>
+
+namespace psopt {
+
+/// The finite universe a liveness fact draws from: every register and every
+/// non-atomic variable mentioned anywhere in the program (other functions
+/// included — threads share variables and calls share registers).
+struct LiveUniverse {
+  std::set<RegId> Regs;
+  std::set<VarId> Vars;
+
+  /// Collects the universe of \p P. Atomic variables are excluded: DCE
+  /// never eliminates atomic accesses, so their liveness is irrelevant.
+  static LiveUniverse of(const Program &P);
+};
+
+/// A liveness fact: live registers and live non-atomic variables.
+class LiveSet {
+public:
+  static LiveSet bottom() { return LiveSet{}; }
+  /// The all-live fact over \p U.
+  static LiveSet allOf(const LiveUniverse &U);
+
+  bool isRegLive(RegId R) const { return Regs.count(R) != 0; }
+  bool isVarLive(VarId X) const { return Vars.count(X) != 0; }
+
+  void addReg(RegId R) { Regs.insert(R); }
+  void addVar(VarId X) { Vars.insert(X); }
+  void killReg(RegId R) { Regs.erase(R); }
+  void killVar(VarId X) { Vars.erase(X); }
+  void addAllVars(const LiveUniverse &U) { Vars.insert(U.Vars.begin(), U.Vars.end()); }
+  void addAllRegs(const LiveUniverse &U) { Regs.insert(U.Regs.begin(), U.Regs.end()); }
+
+  /// Join (set union). Returns true when this changed.
+  bool join(const LiveSet &O);
+
+  bool operator==(const LiveSet &O) const {
+    return Regs == O.Regs && Vars == O.Vars;
+  }
+
+  std::string str() const;
+
+private:
+  std::set<RegId> Regs;
+  std::set<VarId> Vars;
+};
+
+/// Per-instruction backward transfer: given the fact *after* \p I, returns
+/// the fact *before* it.
+LiveSet livenessTransfer(const Instr &I, const LiveSet &After,
+                         const LiveUniverse &U);
+
+/// Backward transfer over a terminator (uses of the branch condition; call
+/// barrier).
+LiveSet livenessTerminatorTransfer(const Terminator &T, const LiveSet &After,
+                                   const LiveUniverse &U);
+
+/// The result of Lv_Analyzer for one function: the live set *after* each
+/// instruction (indexed by block and instruction position) — exactly what
+/// TransId consumes.
+struct LivenessResult {
+  /// AfterInstr[L][I] = live set after instruction I of block L.
+  std::map<BlockLabel, std::vector<LiveSet>> AfterInstr;
+};
+
+/// Runs Lv_Analyzer on \p F with universe \p U.
+LivenessResult analyzeLiveness(const Function &F, const Cfg &G,
+                               const LiveUniverse &U);
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_LIVENESS_H

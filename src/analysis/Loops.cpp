@@ -1,0 +1,48 @@
+//===- analysis/Loops.cpp - Natural loop detection -----------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace psopt {
+
+std::vector<Loop> findNaturalLoops(const Function &F, const Cfg &G,
+                                   const Dominators &D) {
+  (void)F;
+  // Collect back edges grouped by header.
+  std::map<BlockLabel, std::vector<BlockLabel>> BackEdges;
+  for (BlockLabel L : G.rpo())
+    for (BlockLabel S : G.successors(L))
+      if (G.isReachable(S) && D.dominates(S, L))
+        BackEdges[S].push_back(L);
+
+  std::vector<Loop> Loops;
+  for (const auto &[Header, Tails] : BackEdges) {
+    Loop L;
+    L.Header = Header;
+    L.Body.insert(Header);
+    // Backward walk from each tail until the header.
+    std::vector<BlockLabel> Work(Tails.begin(), Tails.end());
+    while (!Work.empty()) {
+      BlockLabel B = Work.back();
+      Work.pop_back();
+      if (!L.Body.insert(B).second)
+        continue;
+      for (BlockLabel P : G.predecessors(B))
+        if (!L.Body.count(P))
+          Work.push_back(P);
+    }
+    for (BlockLabel P : G.predecessors(Header))
+      if (!L.Body.count(P))
+        L.Entries.push_back(P);
+    Loops.push_back(std::move(L));
+  }
+  return Loops;
+}
+
+} // namespace psopt

@@ -1,0 +1,41 @@
+//===- analysis/Loops.h - Natural loop detection ----------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from back edges (tail → header where header dominates
+/// tail), with bodies computed by the usual backward walk. LInv hoists
+/// loop-invariant non-atomic reads into a preheader of such loops (§2.5,
+/// Fig 5(a)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_LOOPS_H
+#define PSOPT_ANALYSIS_LOOPS_H
+
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace psopt {
+
+/// One natural loop.
+struct Loop {
+  BlockLabel Header = 0;
+  /// All blocks in the loop body, header included.
+  std::set<BlockLabel> Body;
+  /// Predecessors of the header from outside the body (preheader sources).
+  std::vector<BlockLabel> Entries;
+
+  bool contains(BlockLabel L) const { return Body.count(L) != 0; }
+};
+
+/// Finds all natural loops of \p F. Loops sharing a header are merged.
+std::vector<Loop> findNaturalLoops(const Function &F, const Cfg &G,
+                                   const Dominators &D);
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_LOOPS_H

@@ -1,0 +1,55 @@
+//===- explore/Behavior.cpp - Observable behaviors ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Behavior.h"
+
+namespace psopt {
+
+static std::string traceStr(const Trace &T) {
+  std::string Out = "[";
+  for (std::size_t I = 0; I < T.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(T[I]);
+  }
+  return Out + "]";
+}
+
+std::string Behavior::str() const {
+  std::string Out = traceStr(Outs);
+  switch (Ending) {
+  case End::Partial:
+    return Out + " ...";
+  case End::Done:
+    return Out + " done";
+  case End::Abort:
+    return Out + " abort";
+  }
+  return Out;
+}
+
+bool BehaviorSet::hasDoneMultiset(const std::multiset<Val> &Vals) const {
+  for (const Trace &T : Done) {
+    std::multiset<Val> M(T.begin(), T.end());
+    if (M == Vals)
+      return true;
+  }
+  return false;
+}
+
+std::string BehaviorSet::str() const {
+  std::string Out;
+  for (const Trace &T : Done)
+    Out += traceStr(T) + " done\n";
+  for (const Trace &T : Abort)
+    Out += traceStr(T) + " abort\n";
+  for (const Trace &T : Blocked)
+    Out += traceStr(T) + " blocked\n";
+  Out += Exhausted ? "(exhaustive)\n" : "(CUT OFF — bounds hit)\n";
+  return Out;
+}
+
+} // namespace psopt

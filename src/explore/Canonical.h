@@ -1,0 +1,37 @@
+//===- explore/Canonical.h - Timestamp canonicalization ---------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Order-isomorphic timestamp renaming. The semantics of PS2.1 depends on
+/// timestamps only through (a) their relative order and (b) exact
+/// from/to adjacency of intervals (CAS chaining) — both preserved by any
+/// strictly monotone renaming. After every machine step the explorer
+/// renames all timestamps occurring in a state onto 0, 1, 2, ..., which
+///
+///  * keeps rationals small (no denominator growth across long runs), and
+///  * makes states that differ only in concrete timestamp choices
+///    *identical*, so the reachable state graph of a finite-control
+///    program is finite and memoizable.
+///
+/// Property-tested in tests/explore/CanonicalTest.cpp: idempotence, order
+/// preservation, and step-commutation on random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_CANONICAL_H
+#define PSOPT_EXPLORE_CANONICAL_H
+
+#include "ps/Machine.h"
+
+namespace psopt {
+
+/// Renames every timestamp in \p S (message intervals, message views,
+/// thread views) order-isomorphically onto consecutive integers.
+void canonicalizeState(MachineState &S);
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_CANONICAL_H

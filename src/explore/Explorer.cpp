@@ -1,0 +1,132 @@
+//===- explore/Explorer.cpp - Bounded exhaustive exploration -----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "explore/Canonical.h"
+#include "nps/NPMachine.h"
+#include "support/Hashing.h"
+#include "support/Statistic.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace psopt {
+
+static Statistic NumExploreNodes("explore", "nodes", "nodes expanded");
+static Statistic NumExploreTransitions("explore", "transitions",
+                                       "machine transitions explored");
+
+namespace {
+
+struct Node {
+  MachineState State; // canonical
+  Trace Outs;
+
+  bool operator==(const Node &O) const {
+    return Outs == O.Outs && State == O.State;
+  }
+};
+
+struct NodeHash {
+  std::size_t operator()(const Node &N) const {
+    std::size_t Seed = N.State.hash();
+    for (Val V : N.Outs)
+      hashCombineValue(Seed, V);
+    return hashFinalize(Seed);
+  }
+};
+
+} // namespace
+
+BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
+  BehaviorSet B;
+  if (!M.initial()) {
+    // A thread entry is missing: the only behavior is immediate abort.
+    B.Abort.insert(Trace{});
+    B.Prefixes.insert(Trace{});
+    return B;
+  }
+
+  Node Start{*M.initial(), {}};
+  canonicalizeState(Start.State);
+
+  std::unordered_set<Node, NodeHash> Visited;
+  std::unordered_set<std::size_t> StateHashes;
+  std::deque<Node> Work;
+  Work.push_back(std::move(Start));
+
+  std::vector<MachineSuccessor> Succs;
+  while (!Work.empty()) {
+    Node N = std::move(Work.front());
+    Work.pop_front();
+    if (!Visited.insert(N).second)
+      continue;
+    if (Visited.size() > C.MaxNodes) {
+      B.Exhausted = false;
+      break;
+    }
+    ++NumExploreNodes;
+    StateHashes.insert(N.State.hash());
+    B.Prefixes.insert(N.Outs);
+
+    if (N.State.allTerminated()) {
+      B.Done.insert(N.Outs);
+      continue;
+    }
+
+    M.successors(N.State, Succs);
+    if (Succs.empty()) {
+      B.Blocked.insert(N.Outs);
+      continue;
+    }
+    for (MachineSuccessor &S : Succs) {
+      NumExploreTransitions += 1;
+      ++B.Transitions;
+      switch (S.Ev.K) {
+      case MachineEvent::Kind::Abort:
+        B.Abort.insert(N.Outs);
+        break;
+      case MachineEvent::Kind::Out: {
+        if (N.Outs.size() >= C.MaxOuts) {
+          // Trace bound: record the prefix and stop extending it.
+          B.Exhausted = false;
+          break;
+        }
+        Node Child{std::move(S.State), N.Outs};
+        Child.Outs.push_back(S.Ev.OutVal);
+        canonicalizeState(Child.State);
+        Work.push_back(std::move(Child));
+        break;
+      }
+      case MachineEvent::Kind::Tau: {
+        Node Child{std::move(S.State), N.Outs};
+        canonicalizeState(Child.State);
+        Work.push_back(std::move(Child));
+        break;
+      }
+      }
+    }
+  }
+
+  B.NodesVisited = Visited.size();
+  B.UniqueStates = StateHashes.size();
+  return B;
+}
+
+BehaviorSet exploreInterleaving(const Program &P, const StepConfig &SC,
+                                const ExploreConfig &C) {
+  InterleavingMachine M(P, SC);
+  return explore(M, C);
+}
+
+BehaviorSet exploreNonPreemptive(const Program &P, const StepConfig &SC,
+                                 const ExploreConfig &C) {
+  NonPreemptiveMachine M(P, SC);
+  return explore(M, C);
+}
+
+} // namespace psopt

@@ -1,0 +1,48 @@
+//===- explore/Explorer.h - Bounded exhaustive exploration ------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model checker: exhaustively enumerates the reachable (canonical
+/// machine state, output trace) graph of a program under a given machine
+/// (interleaving or non-preemptive) and collects its BehaviorSet.
+///
+/// Nodes are (state, trace) pairs — traces matter because behaviors are
+/// path-dependent — memoized globally, so each pair is expanded once. For
+/// a finite-control program with bounded promises the graph is finite
+/// thanks to timestamp canonicalization; spinning loops revisit canonical
+/// states and terminate the search. The bounds below are safety nets whose
+/// violation flips BehaviorSet::Exhausted to false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_EXPLORER_H
+#define PSOPT_EXPLORE_EXPLORER_H
+
+#include "explore/Behavior.h"
+#include "ps/Machine.h"
+
+namespace psopt {
+
+/// Exploration bounds.
+struct ExploreConfig {
+  std::uint64_t MaxNodes = 2'000'000; ///< (state, trace) pairs expanded
+  unsigned MaxOuts = 32;              ///< outputs per trace
+};
+
+/// Explores \p M exhaustively (within \p C) and returns its behaviors.
+BehaviorSet explore(const Machine &M, const ExploreConfig &C = {});
+
+/// Convenience: explores \p P under the interleaving machine.
+BehaviorSet exploreInterleaving(const Program &P, const StepConfig &SC = {},
+                                const ExploreConfig &C = {});
+
+/// Convenience: explores \p P under the non-preemptive machine.
+BehaviorSet exploreNonPreemptive(const Program &P, const StepConfig &SC = {},
+                                 const ExploreConfig &C = {});
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_EXPLORER_H

@@ -1,0 +1,55 @@
+//===- explore/Refinement.cpp - Refinement and equivalence -------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Refinement.h"
+
+namespace psopt {
+
+static std::string traceStr(const Trace &T, const char *Suffix) {
+  std::string Out = "[";
+  for (std::size_t I = 0; I < T.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(T[I]);
+  }
+  return Out + "] " + Suffix;
+}
+
+static bool subset(const std::set<Trace> &A, const std::set<Trace> &B,
+                   const char *What, RefinementResult &R) {
+  for (const Trace &T : A) {
+    if (!B.count(T)) {
+      R.Holds = false;
+      if (R.CounterExample.empty())
+        R.CounterExample = traceStr(T, What);
+      return false;
+    }
+  }
+  return true;
+}
+
+RefinementResult checkRefinement(const BehaviorSet &Target,
+                                 const BehaviorSet &Source) {
+  RefinementResult R;
+  R.Exact = Target.Exhausted && Source.Exhausted;
+  subset(Target.Done, Source.Done, "done (target-only)", R);
+  subset(Target.Abort, Source.Abort, "abort (target-only)", R);
+  // Output prefixes subsume blocked traces: a blocked execution is an
+  // observed prefix, and Prefixes records every reachable prefix.
+  subset(Target.Prefixes, Source.Prefixes, "prefix (target-only)", R);
+  return R;
+}
+
+RefinementResult checkEquivalence(const BehaviorSet &A, const BehaviorSet &B) {
+  RefinementResult R1 = checkRefinement(A, B);
+  if (!R1.Holds)
+    return R1;
+  RefinementResult R2 = checkRefinement(B, A);
+  R2.Exact = R1.Exact && R2.Exact;
+  return R2;
+}
+
+} // namespace psopt

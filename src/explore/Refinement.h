@@ -1,0 +1,45 @@
+//===- explore/Refinement.h - Refinement and equivalence --------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event-trace refinement P ⊆ P' and equivalence P ≈ P' (§3) over explored
+/// BehaviorSets. Refinement is what optimization correctness (Def 6.4)
+/// demands: the target must not produce behaviors the source cannot.
+/// Equivalence is Thm 4.1's statement relating the two machines.
+///
+/// With exhaustive exploration (both Exhausted flags set) the verdicts are
+/// exact for the configured promise bounds; otherwise the checks compare
+/// the explored under-approximations and say so in the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_REFINEMENT_H
+#define PSOPT_EXPLORE_REFINEMENT_H
+
+#include "explore/Behavior.h"
+
+namespace psopt {
+
+/// Verdict of a refinement or equivalence check.
+struct RefinementResult {
+  bool Holds = true;
+  bool Exact = true;          ///< both sides explored exhaustively
+  std::string CounterExample; ///< first offending trace, human-readable
+
+  explicit operator bool() const { return Holds; }
+};
+
+/// Checks Target ⊆ Source: every done/abort trace and every output prefix
+/// of the target is also one of the source.
+RefinementResult checkRefinement(const BehaviorSet &Target,
+                                 const BehaviorSet &Source);
+
+/// Checks behavioral equivalence (refinement in both directions).
+RefinementResult checkEquivalence(const BehaviorSet &A, const BehaviorSet &B);
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_REFINEMENT_H

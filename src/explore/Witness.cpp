@@ -1,0 +1,140 @@
+//===- explore/Witness.cpp - Execution witness reconstruction -------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Witness.h"
+#include "explore/Canonical.h"
+#include "support/Hashing.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace psopt {
+
+std::string Witness::str() const {
+  std::string Out;
+  for (const WitnessStep &S : Steps)
+    Out += "  " + S.str() + "\n";
+  Out += "  => " + Observed.str() + "\n";
+  return Out;
+}
+
+namespace {
+
+struct SearchNode {
+  MachineState State;
+  Trace Outs;
+  // Parent link for reconstruction.
+  std::int64_t Parent = -1;
+  WitnessStep Step;
+
+  bool operator==(const SearchNode &O) const {
+    return Outs == O.Outs && State == O.State;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const SearchNode *N) const {
+    std::size_t Seed = N->State.hash();
+    for (Val V : N->Outs)
+      hashCombineValue(Seed, V);
+    return hashFinalize(Seed);
+  }
+};
+
+struct KeyEq {
+  bool operator()(const SearchNode *A, const SearchNode *B) const {
+    return *A == *B;
+  }
+};
+
+} // namespace
+
+std::optional<Witness> findWitness(const Machine &M, const Trace &Outs,
+                                   Behavior::End Ending,
+                                   const ExploreConfig &C) {
+  if (!M.initial())
+    return std::nullopt;
+
+  // Arena of nodes; the visited set stores pointers into it.
+  std::deque<SearchNode> Arena;
+  std::unordered_set<const SearchNode *, KeyHash, KeyEq> Visited;
+  std::deque<std::int64_t> Work;
+
+  auto Reconstruct = [&](std::int64_t Idx, Behavior::End End) {
+    Witness W;
+    W.Observed.Outs = Arena[Idx].Outs;
+    W.Observed.Ending = End;
+    std::vector<WitnessStep> Rev;
+    for (std::int64_t I = Idx; Arena[I].Parent >= 0; I = Arena[I].Parent)
+      Rev.push_back(Arena[I].Step);
+    W.Steps.assign(Rev.rbegin(), Rev.rend());
+    return W;
+  };
+
+  SearchNode Start;
+  Start.State = *M.initial();
+  canonicalizeState(Start.State);
+  Arena.push_back(std::move(Start));
+  Work.push_back(0);
+
+  std::vector<MachineSuccessor> Succs;
+  while (!Work.empty()) {
+    std::int64_t Idx = Work.front();
+    Work.pop_front();
+    if (!Visited.insert(&Arena[Idx]).second)
+      continue;
+    if (Visited.size() > C.MaxNodes)
+      return std::nullopt;
+
+    // Copy what we need: Arena grows below and may not be referenced
+    // across push_back (deque pointers are stable, but play it safe with
+    // the fields we read).
+    const Trace NodeOuts = Arena[Idx].Outs;
+
+    if (Ending == Behavior::End::Partial && NodeOuts == Outs)
+      return Reconstruct(Idx, Behavior::End::Partial);
+    if (Ending == Behavior::End::Done && Arena[Idx].State.allTerminated() &&
+        NodeOuts == Outs)
+      return Reconstruct(Idx, Behavior::End::Done);
+    if (Arena[Idx].State.allTerminated())
+      continue;
+
+    M.successors(Arena[Idx].State, Succs);
+    for (MachineSuccessor &S : Succs) {
+      if (S.Ev.K == MachineEvent::Kind::Abort) {
+        if (Ending == Behavior::End::Abort && NodeOuts == Outs) {
+          // Append the aborting step itself.
+          SearchNode N;
+          N.State = Arena[Idx].State;
+          N.Outs = NodeOuts;
+          N.Parent = Idx;
+          N.Step = WitnessStep{S.Ev.Thread, S.Ev.ThreadEv};
+          Arena.push_back(std::move(N));
+          return Reconstruct(static_cast<std::int64_t>(Arena.size()) - 1,
+                             Behavior::End::Abort);
+        }
+        continue;
+      }
+      SearchNode N;
+      N.State = std::move(S.State);
+      canonicalizeState(N.State);
+      N.Outs = NodeOuts;
+      if (S.Ev.K == MachineEvent::Kind::Out) {
+        if (NodeOuts.size() >= Outs.size() ||
+            Outs[NodeOuts.size()] != S.Ev.OutVal)
+          continue; // Only follow the requested trace.
+        N.Outs.push_back(S.Ev.OutVal);
+      }
+      N.Parent = Idx;
+      N.Step = WitnessStep{S.Ev.Thread, S.Ev.ThreadEv};
+      Arena.push_back(std::move(N));
+      Work.push_back(static_cast<std::int64_t>(Arena.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace psopt

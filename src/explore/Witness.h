@@ -1,0 +1,55 @@
+//===- explore/Witness.h - Execution witness reconstruction -----*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs a concrete execution (a schedule of labeled thread steps)
+/// producing a given observable behavior — the "why" behind a refinement
+/// counterexample. Used by the CLI (`psopt witness`) and by tests that
+/// want to assert not just that a behavior exists but how it arises
+/// (e.g. that LB's {1,1} outcome really does promise first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_WITNESS_H
+#define PSOPT_EXPLORE_WITNESS_H
+
+#include "explore/Behavior.h"
+#include "explore/Explorer.h"
+#include "ps/Machine.h"
+
+#include <optional>
+
+namespace psopt {
+
+/// One scheduled step of a witness execution.
+struct WitnessStep {
+  Tid Thread = 0;
+  ThreadEvent Ev;
+
+  std::string str() const {
+    return "t" + std::to_string(Thread) + ": " + Ev.str();
+  }
+};
+
+/// A complete witness.
+struct Witness {
+  std::vector<WitnessStep> Steps;
+  Behavior Observed;
+
+  std::string str() const;
+};
+
+/// Searches \p M for an execution with outputs \p Outs ending in
+/// \p Ending (Done/Abort; Partial matches any reachable point with that
+/// output prefix). Returns nullopt when no such execution exists within
+/// \p C's bounds.
+std::optional<Witness> findWitness(const Machine &M, const Trace &Outs,
+                                   Behavior::End Ending,
+                                   const ExploreConfig &C = {});
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_WITNESS_H

@@ -1,0 +1,109 @@
+//===- lang/BasicBlock.cpp - Basic blocks and terminators ----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/BasicBlock.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+Terminator Terminator::makeJmp(BlockLabel Target) {
+  Terminator T(Kind::Jmp);
+  T.L1 = Target;
+  return T;
+}
+
+Terminator Terminator::makeBe(ExprRef Cond, BlockLabel IfNonZero,
+                              BlockLabel IfZero) {
+  PSOPT_CHECK(Cond != nullptr, "be with null condition");
+  Terminator T(Kind::Be);
+  T.Cond = std::move(Cond);
+  T.L1 = IfNonZero;
+  T.L2 = IfZero;
+  return T;
+}
+
+Terminator Terminator::makeCall(FuncId Callee, BlockLabel RetLabel) {
+  Terminator T(Kind::Call);
+  T.Callee = Callee;
+  T.L1 = RetLabel;
+  return T;
+}
+
+Terminator Terminator::makeRet() { return Terminator(Kind::Ret); }
+
+BlockLabel Terminator::target() const {
+  PSOPT_CHECK(isJmp() || isCall(), "target on wrong terminator");
+  return L1;
+}
+
+BlockLabel Terminator::thenTarget() const {
+  PSOPT_CHECK(isBe(), "thenTarget on non-branch");
+  return L1;
+}
+
+BlockLabel Terminator::elseTarget() const {
+  PSOPT_CHECK(isBe(), "elseTarget on non-branch");
+  return L2;
+}
+
+const ExprRef &Terminator::cond() const {
+  PSOPT_CHECK(isBe(), "cond on non-branch");
+  return Cond;
+}
+
+FuncId Terminator::callee() const {
+  PSOPT_CHECK(isCall(), "callee on non-call");
+  return Callee;
+}
+
+std::vector<BlockLabel> Terminator::successors() const {
+  switch (K) {
+  case Kind::Jmp:
+    return {L1};
+  case Kind::Be:
+    if (L1 == L2)
+      return {L1};
+    return {L1, L2};
+  case Kind::Call:
+    return {L1};
+  case Kind::Ret:
+    return {};
+  }
+  PSOPT_UNREACHABLE("bad terminator kind");
+}
+
+bool Terminator::operator==(const Terminator &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Jmp:
+    return L1 == O.L1;
+  case Kind::Be:
+    return L1 == O.L1 && L2 == O.L2 && Expr::equal(Cond, O.Cond);
+  case Kind::Call:
+    return Callee == O.Callee && L1 == O.L1;
+  case Kind::Ret:
+    return true;
+  }
+  PSOPT_UNREACHABLE("bad terminator kind");
+}
+
+std::string Terminator::str() const {
+  switch (K) {
+  case Kind::Jmp:
+    return "jmp " + std::to_string(L1);
+  case Kind::Be:
+    return "be " + Cond->str() + ", " + std::to_string(L1) + ", " +
+           std::to_string(L2);
+  case Kind::Call:
+    return "call " + Callee.str() + ", " + std::to_string(L1);
+  case Kind::Ret:
+    return "ret";
+  }
+  PSOPT_UNREACHABLE("bad terminator kind");
+}
+
+} // namespace psopt

@@ -1,0 +1,104 @@
+//===- lang/BasicBlock.h - Basic blocks and terminators ---------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks of CSimpRTL (Fig 7):
+///
+///   B ::= c, B | jmp f | be e, f1, f2 | call(f, fret) | return
+///
+/// A block is a sequence of straight-line instructions ending in exactly one
+/// terminator. Labels are per-function naturals (Lab ∈ N).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_BASICBLOCK_H
+#define PSOPT_LANG_BASICBLOCK_H
+
+#include "lang/Instr.h"
+
+#include <vector>
+
+namespace psopt {
+
+/// A basic-block label, local to its function.
+using BlockLabel = std::uint32_t;
+
+/// Block terminator.
+class Terminator {
+public:
+  enum class Kind : std::uint8_t {
+    Jmp,  ///< jmp f
+    Be,   ///< be e, f1, f2  — jump to f1 if e != 0, else f2
+    Call, ///< call(f, fret) — call function f, continue at fret on return
+    Ret   ///< return
+  };
+
+  static Terminator makeJmp(BlockLabel Target);
+  static Terminator makeBe(ExprRef Cond, BlockLabel IfNonZero,
+                           BlockLabel IfZero);
+  static Terminator makeCall(FuncId Callee, BlockLabel RetLabel);
+  static Terminator makeRet();
+
+  Kind kind() const { return K; }
+  bool isJmp() const { return K == Kind::Jmp; }
+  bool isBe() const { return K == Kind::Be; }
+  bool isCall() const { return K == Kind::Call; }
+  bool isRet() const { return K == Kind::Ret; }
+
+  /// Jump target (Jmp) or return label (Call).
+  BlockLabel target() const;
+  /// Non-zero branch target (Be).
+  BlockLabel thenTarget() const;
+  /// Zero branch target (Be).
+  BlockLabel elseTarget() const;
+  /// Branch condition (Be).
+  const ExprRef &cond() const;
+  /// Callee (Call).
+  FuncId callee() const;
+
+  /// Labels this terminator may fall through to within the same function
+  /// (Call contributes its return label; Ret contributes nothing).
+  std::vector<BlockLabel> successors() const;
+
+  bool operator==(const Terminator &O) const;
+
+  std::string str() const;
+
+private:
+  explicit Terminator(Kind K) : K(K) {}
+
+  Kind K;
+  BlockLabel L1 = 0, L2 = 0;
+  ExprRef Cond;
+  FuncId Callee;
+};
+
+/// A basic block: straight-line instructions plus one terminator.
+class BasicBlock {
+public:
+  BasicBlock() : Term(Terminator::makeRet()) {}
+  BasicBlock(std::vector<Instr> Instrs, Terminator Term)
+      : Instrs(std::move(Instrs)), Term(std::move(Term)) {}
+
+  const std::vector<Instr> &instructions() const { return Instrs; }
+  std::vector<Instr> &instructions() { return Instrs; }
+  const Terminator &terminator() const { return Term; }
+  void setTerminator(Terminator T) { Term = std::move(T); }
+
+  std::size_t size() const { return Instrs.size(); }
+
+  bool operator==(const BasicBlock &O) const {
+    return Instrs == O.Instrs && Term == O.Term;
+  }
+
+private:
+  std::vector<Instr> Instrs;
+  Terminator Term;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_BASICBLOCK_H

@@ -1,0 +1,116 @@
+//===- lang/Builder.cpp - Fluent program construction ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builder.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+FunctionBuilder &FunctionBuilder::startBlock(BlockLabel L) {
+  PSOPT_CHECK(!BlockOpen, "startBlock while a block is open");
+  PSOPT_CHECK(!F.hasBlock(L), "duplicate block label");
+  BlockOpen = true;
+  CurLabel = L;
+  CurInstrs.clear();
+  if (!EntrySet) {
+    F.setEntry(L);
+    EntrySet = true;
+  }
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::setEntry(BlockLabel L) {
+  F.setEntry(L);
+  EntrySet = true;
+  return *this;
+}
+
+void FunctionBuilder::requireOpenBlock() const {
+  PSOPT_CHECK(BlockOpen, "instruction outside of a block");
+}
+
+FunctionBuilder &FunctionBuilder::load(RegId R, VarId X, ReadMode M) {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makeLoad(R, X, M));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::store(VarId X, ExprRef E, WriteMode M) {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makeStore(X, std::move(E), M));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::store(VarId X, Val V, WriteMode M) {
+  return store(X, Expr::makeConst(V), M);
+}
+
+FunctionBuilder &FunctionBuilder::cas(RegId R, VarId X, ExprRef Expected,
+                                      ExprRef Desired, ReadMode RM,
+                                      WriteMode WM) {
+  requireOpenBlock();
+  CurInstrs.push_back(
+      Instr::makeCas(R, X, std::move(Expected), std::move(Desired), RM, WM));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::assign(RegId R, ExprRef E) {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makeAssign(R, std::move(E)));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::assign(RegId R, Val V) {
+  return assign(R, Expr::makeConst(V));
+}
+
+FunctionBuilder &FunctionBuilder::skip() {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makeSkip());
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::print(ExprRef E) {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makePrint(std::move(E)));
+  return *this;
+}
+
+void FunctionBuilder::closeBlock(Terminator T) {
+  requireOpenBlock();
+  F.setBlock(CurLabel, BasicBlock(std::move(CurInstrs), std::move(T)));
+  CurInstrs = {};
+  BlockOpen = false;
+}
+
+FunctionBuilder &FunctionBuilder::jmp(BlockLabel Target) {
+  closeBlock(Terminator::makeJmp(Target));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::be(ExprRef Cond, BlockLabel IfNonZero,
+                                     BlockLabel IfZero) {
+  closeBlock(Terminator::makeBe(std::move(Cond), IfNonZero, IfZero));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::call(FuncId Callee, BlockLabel RetLabel) {
+  closeBlock(Terminator::makeCall(Callee, RetLabel));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::ret() {
+  closeBlock(Terminator::makeRet());
+  return *this;
+}
+
+Function FunctionBuilder::take() {
+  PSOPT_CHECK(!BlockOpen, "take with an unterminated block");
+  PSOPT_CHECK(EntrySet && F.hasBlock(F.entry()), "take without entry block");
+  return std::move(F);
+}
+
+} // namespace psopt

@@ -1,0 +1,101 @@
+//===- lang/Builder.h - Fluent program construction -------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent builders for constructing CSimpRTL programs in C++ — the public
+/// API used by tests, litmus programs and examples when the textual parser
+/// is not convenient. Expression helpers live in namespace psopt::dsl so
+/// they can be imported with a using-directive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_BUILDER_H
+#define PSOPT_LANG_BUILDER_H
+
+#include "lang/Program.h"
+
+namespace psopt {
+
+/// Builds one function block-by-block. Typical use:
+///
+/// \code
+///   FunctionBuilder FB;
+///   FB.startBlock(0).load(R1, X, ReadMode::ACQ).jmp(1);
+///   FB.startBlock(1).print(dsl::reg(R1)).ret();
+///   Function F = FB.take();
+/// \endcode
+class FunctionBuilder {
+public:
+  FunctionBuilder() = default;
+
+  /// Opens block \p L; subsequent instruction calls append to it. The first
+  /// opened block becomes the entry unless setEntry is called.
+  FunctionBuilder &startBlock(BlockLabel L);
+
+  FunctionBuilder &setEntry(BlockLabel L);
+
+  FunctionBuilder &load(RegId R, VarId X, ReadMode M);
+  FunctionBuilder &store(VarId X, ExprRef E, WriteMode M);
+  FunctionBuilder &store(VarId X, Val V, WriteMode M);
+  FunctionBuilder &cas(RegId R, VarId X, ExprRef Expected, ExprRef Desired,
+                       ReadMode RM, WriteMode WM);
+  FunctionBuilder &assign(RegId R, ExprRef E);
+  FunctionBuilder &assign(RegId R, Val V);
+  FunctionBuilder &skip();
+  FunctionBuilder &print(ExprRef E);
+
+  /// Terminators close the current block.
+  FunctionBuilder &jmp(BlockLabel Target);
+  FunctionBuilder &be(ExprRef Cond, BlockLabel IfNonZero, BlockLabel IfZero);
+  FunctionBuilder &call(FuncId Callee, BlockLabel RetLabel);
+  FunctionBuilder &ret();
+
+  /// Finishes and returns the function. The builder must not be reused.
+  Function take();
+
+private:
+  void requireOpenBlock() const;
+  void closeBlock(Terminator T);
+
+  Function F;
+  bool EntrySet = false;
+  bool BlockOpen = false;
+  BlockLabel CurLabel = 0;
+  std::vector<Instr> CurInstrs;
+};
+
+/// Expression-construction helpers.
+namespace dsl {
+
+inline ExprRef cst(Val V) { return Expr::makeConst(V); }
+inline ExprRef reg(RegId R) { return Expr::makeReg(R); }
+inline ExprRef add(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Add, std::move(A), std::move(B));
+}
+inline ExprRef sub(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Sub, std::move(A), std::move(B));
+}
+inline ExprRef mul(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Mul, std::move(A), std::move(B));
+}
+inline ExprRef eq(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Eq, std::move(A), std::move(B));
+}
+inline ExprRef ne(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Ne, std::move(A), std::move(B));
+}
+inline ExprRef lt(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Lt, std::move(A), std::move(B));
+}
+inline ExprRef le(ExprRef A, ExprRef B) {
+  return Expr::makeBin(BinOp::Le, std::move(A), std::move(B));
+}
+
+} // namespace dsl
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_BUILDER_H

@@ -1,0 +1,246 @@
+//===- lang/Expr.cpp - CSimpRTL expressions ------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Expr.h"
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+namespace psopt {
+
+bool RegFile::operator==(const RegFile &O) const {
+  // Register files are semantically total maps defaulting to 0, so compare
+  // the union of the two key sets.
+  for (const auto &[R, V] : Values)
+    if (V != O.get(R))
+      return false;
+  for (const auto &[R, V] : O.Values)
+    if (V != get(R))
+      return false;
+  return true;
+}
+
+std::size_t RegFile::hash() const {
+  // Order-independent combination (xor of per-entry hashes) so that the
+  // map's iteration order does not leak into the hash. Zero-valued entries
+  // must not contribute: they are indistinguishable from absent ones.
+  std::size_t H = 0;
+  for (const auto &[R, V] : Values) {
+    if (V == 0)
+      continue;
+    std::size_t Entry = 0;
+    hashCombineValue(Entry, R.raw());
+    hashCombineValue(Entry, V);
+    H ^= hashFinalize(Entry);
+  }
+  return H;
+}
+
+std::string RegFile::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[R, V] : Values) {
+    if (V == 0)
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += R.str() + "=" + std::to_string(V);
+  }
+  Out += "}";
+  return Out;
+}
+
+ExprRef Expr::makeConst(Val V) {
+  auto E = std::shared_ptr<Expr>(new Expr(Kind::Const));
+  E->CVal = V;
+  return E;
+}
+
+ExprRef Expr::makeReg(RegId R) {
+  auto E = std::shared_ptr<Expr>(new Expr(Kind::Reg));
+  E->R = R;
+  return E;
+}
+
+ExprRef Expr::makeBin(BinOp Op, ExprRef L, ExprRef R) {
+  PSOPT_CHECK(L && R, "binary expression with null operand");
+  auto E = std::shared_ptr<Expr>(new Expr(Kind::Bin));
+  E->Op = Op;
+  E->L = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}
+
+Val Expr::constValue() const {
+  PSOPT_CHECK(isConst(), "constValue on non-constant");
+  return CVal;
+}
+
+RegId Expr::reg() const {
+  PSOPT_CHECK(isReg(), "reg on non-register");
+  return R;
+}
+
+BinOp Expr::binOp() const {
+  PSOPT_CHECK(isBin(), "binOp on non-binary");
+  return Op;
+}
+
+const ExprRef &Expr::lhs() const {
+  PSOPT_CHECK(isBin(), "lhs on non-binary");
+  return L;
+}
+
+const ExprRef &Expr::rhs() const {
+  PSOPT_CHECK(isBin(), "rhs on non-binary");
+  return Rhs;
+}
+
+Val Expr::eval(const RegFile &Regs) const {
+  switch (K) {
+  case Kind::Const:
+    return CVal;
+  case Kind::Reg:
+    return Regs.get(R);
+  case Kind::Bin:
+    return evalBinOp(Op, L->eval(Regs), Rhs->eval(Regs));
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+std::optional<Val> Expr::evalConst() const {
+  switch (K) {
+  case Kind::Const:
+    return CVal;
+  case Kind::Reg:
+    return std::nullopt;
+  case Kind::Bin: {
+    auto A = L->evalConst();
+    if (!A)
+      return std::nullopt;
+    auto B = Rhs->evalConst();
+    if (!B)
+      return std::nullopt;
+    return evalBinOp(Op, *A, *B);
+  }
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+void Expr::collectRegs(std::set<RegId> &Out) const {
+  switch (K) {
+  case Kind::Const:
+    return;
+  case Kind::Reg:
+    Out.insert(R);
+    return;
+  case Kind::Bin:
+    L->collectRegs(Out);
+    Rhs->collectRegs(Out);
+    return;
+  }
+}
+
+bool Expr::usesReg(RegId Target) const {
+  switch (K) {
+  case Kind::Const:
+    return false;
+  case Kind::Reg:
+    return R == Target;
+  case Kind::Bin:
+    return L->usesReg(Target) || Rhs->usesReg(Target);
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+bool Expr::equal(const ExprRef &A, const ExprRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case Kind::Const:
+    return A->CVal == B->CVal;
+  case Kind::Reg:
+    return A->R == B->R;
+  case Kind::Bin:
+    return A->Op == B->Op && equal(A->L, B->L) && equal(A->Rhs, B->Rhs);
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+std::size_t Expr::hash(const ExprRef &E) {
+  if (!E)
+    return 0;
+  std::size_t Seed = static_cast<std::size_t>(E->K);
+  switch (E->K) {
+  case Kind::Const:
+    hashCombineValue(Seed, E->CVal);
+    break;
+  case Kind::Reg:
+    hashCombineValue(Seed, E->R.raw());
+    break;
+  case Kind::Bin:
+    hashCombineValue(Seed, static_cast<unsigned>(E->Op));
+    hashCombine(Seed, hash(E->L));
+    hashCombine(Seed, hash(E->Rhs));
+    break;
+  }
+  return hashFinalize(Seed);
+}
+
+ExprRef Expr::substReg(const ExprRef &E, RegId R, const ExprRef &Repl) {
+  switch (E->K) {
+  case Kind::Const:
+    return E;
+  case Kind::Reg:
+    return E->R == R ? Repl : E;
+  case Kind::Bin: {
+    ExprRef NL = substReg(E->L, R, Repl);
+    ExprRef NR = substReg(E->Rhs, R, Repl);
+    if (NL.get() == E->L.get() && NR.get() == E->Rhs.get())
+      return E;
+    return makeBin(E->Op, std::move(NL), std::move(NR));
+  }
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+ExprRef Expr::fold(const ExprRef &E,
+                   const std::function<std::optional<Val>(RegId)> &RegConst) {
+  switch (E->K) {
+  case Kind::Const:
+    return E;
+  case Kind::Reg:
+    if (auto V = RegConst(E->R))
+      return makeConst(*V);
+    return E;
+  case Kind::Bin: {
+    ExprRef NL = fold(E->L, RegConst);
+    ExprRef NR = fold(E->Rhs, RegConst);
+    if (NL->isConst() && NR->isConst())
+      return makeConst(evalBinOp(E->Op, NL->constValue(), NR->constValue()));
+    if (NL.get() == E->L.get() && NR.get() == E->Rhs.get())
+      return E;
+    return makeBin(E->Op, std::move(NL), std::move(NR));
+  }
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::Const:
+    return std::to_string(CVal);
+  case Kind::Reg:
+    return R.str();
+  case Kind::Bin:
+    return "(" + L->str() + " " + binOpSpelling(Op) + " " + Rhs->str() + ")";
+  }
+  PSOPT_UNREACHABLE("bad expression kind");
+}
+
+} // namespace psopt

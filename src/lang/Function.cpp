@@ -1,0 +1,37 @@
+//===- lang/Function.cpp - Code heaps (functions) -------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Function.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+const BasicBlock &Function::block(BlockLabel L) const {
+  auto It = Blocks.find(L);
+  PSOPT_CHECK(It != Blocks.end(), "unknown block label");
+  return It->second;
+}
+
+BasicBlock &Function::block(BlockLabel L) {
+  auto It = Blocks.find(L);
+  PSOPT_CHECK(It != Blocks.end(), "unknown block label");
+  return It->second;
+}
+
+BlockLabel Function::freshLabel() const {
+  if (Blocks.empty())
+    return 0;
+  return Blocks.rbegin()->first + 1;
+}
+
+std::size_t Function::instructionCount() const {
+  std::size_t N = 0;
+  for (const auto &[L, B] : Blocks)
+    N += B.size();
+  return N;
+}
+
+} // namespace psopt

@@ -1,0 +1,61 @@
+//===- lang/Function.h - Code heaps (functions) -----------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CSimpRTL function is a code heap (Fig 7: Cdhp ∈ Lab ⇀ BBlock) plus a
+/// distinguished entry label. Labels are kept sparse (std::map) because
+/// optimization passes may delete blocks; iteration order is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_FUNCTION_H
+#define PSOPT_LANG_FUNCTION_H
+
+#include "lang/BasicBlock.h"
+
+#include <map>
+
+namespace psopt {
+
+/// A function: entry label plus code heap.
+class Function {
+public:
+  Function() = default;
+  explicit Function(BlockLabel Entry) : Entry(Entry) {}
+
+  BlockLabel entry() const { return Entry; }
+  void setEntry(BlockLabel L) { Entry = L; }
+
+  /// The code heap, label → block.
+  const std::map<BlockLabel, BasicBlock> &blocks() const { return Blocks; }
+  std::map<BlockLabel, BasicBlock> &blocks() { return Blocks; }
+
+  bool hasBlock(BlockLabel L) const { return Blocks.count(L) != 0; }
+  const BasicBlock &block(BlockLabel L) const;
+  BasicBlock &block(BlockLabel L);
+
+  /// Adds (or replaces) the block at \p L.
+  void setBlock(BlockLabel L, BasicBlock B) { Blocks[L] = std::move(B); }
+
+  /// Returns a label strictly greater than every existing label; used by
+  /// passes (e.g. LInv's preheader insertion) to create fresh blocks.
+  BlockLabel freshLabel() const;
+
+  /// Total instruction count (terminators not counted).
+  std::size_t instructionCount() const;
+
+  bool operator==(const Function &O) const {
+    return Entry == O.Entry && Blocks == O.Blocks;
+  }
+
+private:
+  BlockLabel Entry = 0;
+  std::map<BlockLabel, BasicBlock> Blocks;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_FUNCTION_H

@@ -1,0 +1,178 @@
+//===- lang/Instr.cpp - CSimpRTL instructions -----------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Instr.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+Instr Instr::makeLoad(RegId R, VarId X, ReadMode M) {
+  Instr I(Kind::Load);
+  I.R = R;
+  I.X = X;
+  I.RM = M;
+  return I;
+}
+
+Instr Instr::makeStore(VarId X, ExprRef E, WriteMode M) {
+  PSOPT_CHECK(E != nullptr, "store with null expression");
+  Instr I(Kind::Store);
+  I.X = X;
+  I.E = std::move(E);
+  I.WM = M;
+  return I;
+}
+
+Instr Instr::makeCas(RegId R, VarId X, ExprRef Expected, ExprRef Desired,
+                     ReadMode RM, WriteMode WM) {
+  PSOPT_CHECK(Expected && Desired, "CAS with null expression");
+  Instr I(Kind::Cas);
+  I.R = R;
+  I.X = X;
+  I.E = std::move(Expected);
+  I.E2 = std::move(Desired);
+  I.RM = RM;
+  I.WM = WM;
+  return I;
+}
+
+Instr Instr::makeAssign(RegId R, ExprRef E) {
+  PSOPT_CHECK(E != nullptr, "assign with null expression");
+  Instr I(Kind::Assign);
+  I.R = R;
+  I.E = std::move(E);
+  return I;
+}
+
+Instr Instr::makeSkip() { return Instr(Kind::Skip); }
+
+Instr Instr::makePrint(ExprRef E) {
+  PSOPT_CHECK(E != nullptr, "print with null expression");
+  Instr I(Kind::Print);
+  I.E = std::move(E);
+  return I;
+}
+
+bool Instr::isAtomicAccess() const {
+  switch (K) {
+  case Kind::Load:
+    return RM != ReadMode::NA;
+  case Kind::Store:
+    return WM != WriteMode::NA;
+  case Kind::Cas:
+    // CAS always accesses an atomic location (validated); even a
+    // rlx/rlx CAS is an atomic update (class AT in Fig 10).
+    return true;
+  case Kind::Assign:
+  case Kind::Skip:
+  case Kind::Print:
+    return false;
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+RegId Instr::dest() const {
+  PSOPT_CHECK(isLoad() || isCas() || isAssign(), "dest on wrong kind");
+  return R;
+}
+
+VarId Instr::var() const {
+  PSOPT_CHECK(accessesMemory(), "var on non-memory instruction");
+  return X;
+}
+
+ReadMode Instr::readMode() const {
+  PSOPT_CHECK(isLoad() || isCas(), "readMode on wrong kind");
+  return RM;
+}
+
+WriteMode Instr::writeMode() const {
+  PSOPT_CHECK(isStore() || isCas(), "writeMode on wrong kind");
+  return WM;
+}
+
+const ExprRef &Instr::expr() const {
+  PSOPT_CHECK(isStore() || isAssign() || isPrint(), "expr on wrong kind");
+  return E;
+}
+
+const ExprRef &Instr::casExpected() const {
+  PSOPT_CHECK(isCas(), "casExpected on non-CAS");
+  return E;
+}
+
+const ExprRef &Instr::casDesired() const {
+  PSOPT_CHECK(isCas(), "casDesired on non-CAS");
+  return E2;
+}
+
+std::set<RegId> Instr::usedRegs() const {
+  std::set<RegId> Out;
+  switch (K) {
+  case Kind::Load:
+  case Kind::Skip:
+    break;
+  case Kind::Store:
+  case Kind::Assign:
+  case Kind::Print:
+    E->collectRegs(Out);
+    break;
+  case Kind::Cas:
+    E->collectRegs(Out);
+    E2->collectRegs(Out);
+    break;
+  }
+  return Out;
+}
+
+std::optional<RegId> Instr::definedReg() const {
+  if (isLoad() || isCas() || isAssign())
+    return R;
+  return std::nullopt;
+}
+
+bool Instr::operator==(const Instr &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Skip:
+    return true;
+  case Kind::Load:
+    return R == O.R && X == O.X && RM == O.RM;
+  case Kind::Store:
+    return X == O.X && WM == O.WM && Expr::equal(E, O.E);
+  case Kind::Cas:
+    return R == O.R && X == O.X && RM == O.RM && WM == O.WM &&
+           Expr::equal(E, O.E) && Expr::equal(E2, O.E2);
+  case Kind::Assign:
+    return R == O.R && Expr::equal(E, O.E);
+  case Kind::Print:
+    return Expr::equal(E, O.E);
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+std::string Instr::str() const {
+  switch (K) {
+  case Kind::Load:
+    return R.str() + " := " + X.str() + "." + readModeSpelling(RM);
+  case Kind::Store:
+    return X.str() + "." + writeModeSpelling(WM) + " := " + E->str();
+  case Kind::Cas:
+    return R.str() + " := cas(" + X.str() + ", " + E->str() + ", " +
+           E2->str() + ", " + readModeSpelling(RM) + ", " +
+           writeModeSpelling(WM) + ")";
+  case Kind::Assign:
+    return R.str() + " := " + E->str();
+  case Kind::Skip:
+    return "skip";
+  case Kind::Print:
+    return "print(" + E->str() + ")";
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+} // namespace psopt

@@ -1,0 +1,114 @@
+//===- lang/Instr.h - CSimpRTL instructions ---------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line instructions of CSimpRTL (Fig 7):
+///
+///   c ::= r := x_or | x_ow := e | r := CAS_or,ow(x, er, ew)
+///       | skip | r := e | print(e)
+///
+/// Instructions are small value types with a kind discriminator and
+/// accessors that assert the kind, following the LLVM convention of a
+/// single tagged class for a closed instruction set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_INSTR_H
+#define PSOPT_LANG_INSTR_H
+
+#include "lang/Expr.h"
+#include "lang/Ops.h"
+#include "support/Symbol.h"
+
+#include <set>
+#include <string>
+
+namespace psopt {
+
+/// One CSimpRTL instruction.
+class Instr {
+public:
+  enum class Kind : std::uint8_t {
+    Load,   ///< r := x_or
+    Store,  ///< x_ow := e
+    Cas,    ///< r := CAS_or,ow(x, er, ew)
+    Assign, ///< r := e
+    Skip,   ///< skip
+    Print   ///< print(e)
+  };
+
+  /// r := x_or
+  static Instr makeLoad(RegId R, VarId X, ReadMode M);
+  /// x_ow := e
+  static Instr makeStore(VarId X, ExprRef E, WriteMode M);
+  /// r := CAS_or,ow(x, er, ew). Succeeds (writing ew, r := 1) when the read
+  /// value equals er; otherwise r := 0 and only the read is performed.
+  static Instr makeCas(RegId R, VarId X, ExprRef Expected, ExprRef Desired,
+                       ReadMode RM, WriteMode WM);
+  /// r := e
+  static Instr makeAssign(RegId R, ExprRef E);
+  /// skip
+  static Instr makeSkip();
+  /// print(e)
+  static Instr makePrint(ExprRef E);
+
+  Kind kind() const { return K; }
+  bool isLoad() const { return K == Kind::Load; }
+  bool isStore() const { return K == Kind::Store; }
+  bool isCas() const { return K == Kind::Cas; }
+  bool isAssign() const { return K == Kind::Assign; }
+  bool isSkip() const { return K == Kind::Skip; }
+  bool isPrint() const { return K == Kind::Print; }
+
+  /// True for instructions with any shared-memory access.
+  bool accessesMemory() const { return isLoad() || isStore() || isCas(); }
+
+  /// True for instructions that are atomic memory accesses, i.e. any load,
+  /// store or CAS whose mode is not non-atomic. Mode na accesses and
+  /// register-only instructions are non-atomic (class NA of Fig 10).
+  bool isAtomicAccess() const;
+
+  /// Destination register (Load, Cas, Assign).
+  RegId dest() const;
+  /// Accessed variable (Load, Store, Cas).
+  VarId var() const;
+  /// Read mode (Load, Cas).
+  ReadMode readMode() const;
+  /// Write mode (Store, Cas).
+  WriteMode writeMode() const;
+  /// Stored expression (Store), assigned expression (Assign) or printed
+  /// expression (Print).
+  const ExprRef &expr() const;
+  /// Expected-value expression of a CAS.
+  const ExprRef &casExpected() const;
+  /// Desired-value expression of a CAS.
+  const ExprRef &casDesired() const;
+
+  /// Registers read by this instruction.
+  std::set<RegId> usedRegs() const;
+  /// Destination register, if any.
+  std::optional<RegId> definedReg() const;
+
+  bool operator==(const Instr &O) const;
+
+  /// Renders in source syntax, e.g. "r1 := x.acq".
+  std::string str() const;
+
+private:
+  explicit Instr(Kind K) : K(K) {}
+
+  Kind K;
+  RegId R;
+  VarId X;
+  ReadMode RM = ReadMode::NA;
+  WriteMode WM = WriteMode::NA;
+  ExprRef E;  // Store/Assign/Print payload.
+  ExprRef E2; // CAS desired value (E = expected).
+};
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_INSTR_H

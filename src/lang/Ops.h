@@ -1,0 +1,116 @@
+//===- lang/Ops.h - Access modes and operators ------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access modes (Fig 7: ModeR, ModeW) and expression operators of CSimpRTL.
+/// The paper's expression grammar has +, -, *; we additionally provide
+/// comparison operators (result 0/1) because the paper's examples branch on
+/// conditions like `r1 < 10` and `be` takes an expression. This is a pure
+/// front-end convenience: comparisons involve registers only and have no
+/// memory effect, so they fall in the NA step class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_OPS_H
+#define PSOPT_LANG_OPS_H
+
+#include <cstdint>
+
+namespace psopt {
+
+/// Machine value type (Fig 7: Val ∈ Int32). Arithmetic wraps around.
+using Val = std::int32_t;
+
+/// Read access modes (ModeR): non-atomic, relaxed, acquire.
+enum class ReadMode : std::uint8_t { NA, RLX, ACQ };
+
+/// Write access modes (ModeW): non-atomic, relaxed, release.
+enum class WriteMode : std::uint8_t { NA, RLX, REL };
+
+/// Binary expression operators.
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Evaluates \p Op on \p A and \p B with two's-complement wrap-around.
+inline Val evalBinOp(BinOp Op, Val A, Val B) {
+  auto UA = static_cast<std::uint32_t>(A);
+  auto UB = static_cast<std::uint32_t>(B);
+  switch (Op) {
+  case BinOp::Add:
+    return static_cast<Val>(UA + UB);
+  case BinOp::Sub:
+    return static_cast<Val>(UA - UB);
+  case BinOp::Mul:
+    return static_cast<Val>(UA * UB);
+  case BinOp::Eq:
+    return A == B ? 1 : 0;
+  case BinOp::Ne:
+    return A != B ? 1 : 0;
+  case BinOp::Lt:
+    return A < B ? 1 : 0;
+  case BinOp::Le:
+    return A <= B ? 1 : 0;
+  case BinOp::Gt:
+    return A > B ? 1 : 0;
+  case BinOp::Ge:
+    return A >= B ? 1 : 0;
+  }
+  return 0;
+}
+
+/// Spelling of \p Op as it appears in the textual syntax.
+inline const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+/// Spelling of a read mode ("na", "rlx", "acq").
+inline const char *readModeSpelling(ReadMode M) {
+  switch (M) {
+  case ReadMode::NA:
+    return "na";
+  case ReadMode::RLX:
+    return "rlx";
+  case ReadMode::ACQ:
+    return "acq";
+  }
+  return "?";
+}
+
+/// Spelling of a write mode ("na", "rlx", "rel").
+inline const char *writeModeSpelling(WriteMode M) {
+  switch (M) {
+  case WriteMode::NA:
+    return "na";
+  case WriteMode::RLX:
+    return "rlx";
+  case WriteMode::REL:
+    return "rel";
+  }
+  return "?";
+}
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_OPS_H

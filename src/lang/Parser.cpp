@@ -1,0 +1,516 @@
+//===- lang/Parser.cpp - Textual CSimpRTL parser ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "support/Debug.h"
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+namespace psopt {
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  Ident,
+  Number,
+  Punct, // one of := : ; , ( ) { } . + - * == != < <= > >=
+  Eof
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+/// Hand-written tokenizer; returns an error message (empty on success).
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  std::string run(std::vector<Token> &Out) {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '#') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        std::size_t Start = Pos;
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_' || Src[Pos] == '$'))
+          ++Pos;
+        Out.push_back({TokKind::Ident, Src.substr(Start, Pos - Start), Line});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        std::size_t Start = Pos;
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[Pos])))
+          ++Pos;
+        Out.push_back({TokKind::Number, Src.substr(Start, Pos - Start), Line});
+        continue;
+      }
+      // Multi-char punctuation first.
+      auto StartsWith = [&](const char *S) {
+        return Src.compare(Pos, std::string::traits_type::length(S), S) == 0;
+      };
+      static const char *TwoChar[] = {":=", "==", "!=", "<=", ">="};
+      bool Matched = false;
+      for (const char *P : TwoChar) {
+        if (StartsWith(P)) {
+          Out.push_back({TokKind::Punct, P, Line});
+          Pos += 2;
+          Matched = true;
+          break;
+        }
+      }
+      if (Matched)
+        continue;
+      static const std::string OneChar = ":;,(){}.+-*<>";
+      if (OneChar.find(C) != std::string::npos) {
+        Out.push_back({TokKind::Punct, std::string(1, C), Line});
+        ++Pos;
+        continue;
+      }
+      ErrLine = Line;
+      return "unexpected character '" + std::string(1, C) + "'";
+    }
+    Out.push_back({TokKind::Eof, "", Line});
+    return "";
+  }
+
+  unsigned errorLine() const { return ErrLine; }
+
+private:
+  const std::string &Src;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned ErrLine = 0;
+};
+
+/// The recursive-descent parser proper. Fails by setting Err and returning
+/// placeholder values; callers bail out when failed() is true.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  ParseResult run() {
+    while (!failed() && !peekIs(TokKind::Eof)) {
+      if (peekIdent("var"))
+        parseVarDecl();
+      else if (peekIdent("func"))
+        parseFuncDecl();
+      else if (peekIdent("thread"))
+        parseThreadDecl();
+      else
+        fail("expected 'var', 'func' or 'thread'");
+    }
+    ParseResult R;
+    if (failed()) {
+      R.Error = Err;
+      R.ErrorLine = ErrLine;
+      return R;
+    }
+    R.Prog = std::move(P);
+    return R;
+  }
+
+private:
+  // --- token plumbing ----------------------------------------------------
+  const Token &peek() const { return Toks[Idx]; }
+  bool peekIs(TokKind K) const { return peek().Kind == K; }
+  bool peekIdent(const char *S) const {
+    return peek().Kind == TokKind::Ident && peek().Text == S;
+  }
+  bool peekPunct(const char *S) const {
+    return peek().Kind == TokKind::Punct && peek().Text == S;
+  }
+  Token advance() {
+    Token T = Toks[Idx];
+    if (Toks[Idx].Kind != TokKind::Eof)
+      ++Idx;
+    return T;
+  }
+  void fail(const std::string &Msg) {
+    if (!failed()) {
+      Err = Msg + " (got '" + peek().Text + "')";
+      ErrLine = peek().Line;
+    }
+  }
+  bool failed() const { return !Err.empty(); }
+
+  bool expectPunct(const char *S) {
+    if (!peekPunct(S)) {
+      fail(std::string("expected '") + S + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+  bool expectIdent(const char *S) {
+    if (!peekIdent(S)) {
+      fail(std::string("expected '") + S + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+  std::string expectAnyIdent() {
+    if (!peekIs(TokKind::Ident)) {
+      fail("expected identifier");
+      return "";
+    }
+    return advance().Text;
+  }
+  std::optional<BlockLabel> expectNumber() {
+    if (!peekIs(TokKind::Number)) {
+      fail("expected number");
+      return std::nullopt;
+    }
+    return static_cast<BlockLabel>(std::stoul(advance().Text));
+  }
+
+  // --- declarations -------------------------------------------------------
+  void parseVarDecl() {
+    expectIdent("var");
+    std::string Name = expectAnyIdent();
+    if (failed())
+      return;
+    VarId X(Name);
+    DeclaredVars.insert(Name);
+    if (peekIdent("atomic")) {
+      advance();
+      P.addAtomic(X);
+    }
+    expectPunct(";");
+  }
+
+  void parseThreadDecl() {
+    expectIdent("thread");
+    std::string Name = expectAnyIdent();
+    if (failed())
+      return;
+    P.addThread(FuncId(Name));
+    expectPunct(";");
+  }
+
+  void parseFuncDecl() {
+    expectIdent("func");
+    std::string Name = expectAnyIdent();
+    if (failed())
+      return;
+    expectPunct("{");
+    Function F;
+    bool First = true;
+    while (!failed() && peekIdent("block")) {
+      advance();
+      auto L = expectNumber();
+      expectPunct(":");
+      if (failed())
+        return;
+      if (F.hasBlock(*L)) {
+        fail("duplicate block label " + std::to_string(*L));
+        return;
+      }
+      if (First) {
+        F.setEntry(*L);
+        First = false;
+      }
+      parseBlockBody(F, *L);
+    }
+    if (First)
+      fail("function with no blocks");
+    expectPunct("}");
+    if (!failed())
+      P.setFunction(FuncId(Name), std::move(F));
+  }
+
+  // --- blocks --------------------------------------------------------------
+  void parseBlockBody(Function &F, BlockLabel L) {
+    std::vector<Instr> Instrs;
+    while (!failed()) {
+      if (peekIdent("jmp") || peekIdent("be") || peekIdent("call") ||
+          peekIdent("ret")) {
+        Terminator T = parseTerminator();
+        if (failed())
+          return;
+        F.setBlock(L, BasicBlock(std::move(Instrs), std::move(T)));
+        return;
+      }
+      parseInstr(Instrs);
+      if (failed())
+        return;
+    }
+  }
+
+  Terminator parseTerminator() {
+    if (peekIdent("jmp")) {
+      advance();
+      auto L = expectNumber();
+      expectPunct(";");
+      return failed() ? Terminator::makeRet() : Terminator::makeJmp(*L);
+    }
+    if (peekIdent("be")) {
+      advance();
+      ExprRef Cond = parseExpr();
+      expectPunct(",");
+      auto L1 = expectNumber();
+      expectPunct(",");
+      auto L2 = expectNumber();
+      expectPunct(";");
+      if (failed())
+        return Terminator::makeRet();
+      return Terminator::makeBe(std::move(Cond), *L1, *L2);
+    }
+    if (peekIdent("call")) {
+      advance();
+      std::string Callee = expectAnyIdent();
+      expectPunct(",");
+      auto L = expectNumber();
+      expectPunct(";");
+      if (failed())
+        return Terminator::makeRet();
+      return Terminator::makeCall(FuncId(Callee), *L);
+    }
+    expectIdent("ret");
+    expectPunct(";");
+    return Terminator::makeRet();
+  }
+
+  // --- instructions ---------------------------------------------------------
+  void parseInstr(std::vector<Instr> &Out) {
+    if (peekIdent("skip")) {
+      advance();
+      expectPunct(";");
+      Out.push_back(Instr::makeSkip());
+      return;
+    }
+    if (peekIdent("print")) {
+      advance();
+      expectPunct("(");
+      ExprRef E = parseExpr();
+      expectPunct(")");
+      expectPunct(";");
+      if (!failed())
+        Out.push_back(Instr::makePrint(std::move(E)));
+      return;
+    }
+    // Remaining forms start with an identifier.
+    std::string Name = expectAnyIdent();
+    if (failed())
+      return;
+    if (peekPunct(".")) {
+      // Store: x.‹mode› := e
+      if (!DeclaredVars.count(Name)) {
+        fail("'" + Name + "' used as memory location but not declared var");
+        return;
+      }
+      advance();
+      auto WM = parseWriteMode();
+      expectPunct(":=");
+      ExprRef E = parseExpr();
+      expectPunct(";");
+      if (!failed())
+        Out.push_back(Instr::makeStore(VarId(Name), std::move(E), WM));
+      return;
+    }
+    // Load / CAS / assign: r := ...
+    if (DeclaredVars.count(Name)) {
+      fail("variable '" + Name + "' used as a register");
+      return;
+    }
+    RegId R(Name);
+    expectPunct(":=");
+    if (failed())
+      return;
+    if (peekIdent("cas")) {
+      advance();
+      expectPunct("(");
+      std::string Var = expectAnyIdent();
+      if (!failed() && !DeclaredVars.count(Var)) {
+        fail("'" + Var + "' used as memory location but not declared var");
+        return;
+      }
+      expectPunct(",");
+      ExprRef Expected = parseExpr();
+      expectPunct(",");
+      ExprRef Desired = parseExpr();
+      expectPunct(",");
+      auto RM = parseReadMode();
+      expectPunct(",");
+      auto WM = parseWriteMode();
+      expectPunct(")");
+      expectPunct(";");
+      if (!failed())
+        Out.push_back(Instr::makeCas(R, VarId(Var), std::move(Expected),
+                                     std::move(Desired), RM, WM));
+      return;
+    }
+    // Load if the RHS is `var.mode`, assign otherwise.
+    if (peekIs(TokKind::Ident) && DeclaredVars.count(peek().Text)) {
+      std::string Var = advance().Text;
+      expectPunct(".");
+      auto RM = parseReadMode();
+      expectPunct(";");
+      if (!failed())
+        Out.push_back(Instr::makeLoad(R, VarId(Var), RM));
+      return;
+    }
+    ExprRef E = parseExpr();
+    expectPunct(";");
+    if (!failed())
+      Out.push_back(Instr::makeAssign(R, std::move(E)));
+  }
+
+  ReadMode parseReadMode() {
+    std::string M = expectAnyIdent();
+    if (M == "na")
+      return ReadMode::NA;
+    if (M == "rlx")
+      return ReadMode::RLX;
+    if (M == "acq")
+      return ReadMode::ACQ;
+    fail("expected read mode na/rlx/acq");
+    return ReadMode::NA;
+  }
+
+  WriteMode parseWriteMode() {
+    std::string M = expectAnyIdent();
+    if (M == "na")
+      return WriteMode::NA;
+    if (M == "rlx")
+      return WriteMode::RLX;
+    if (M == "rel")
+      return WriteMode::REL;
+    fail("expected write mode na/rlx/rel");
+    return WriteMode::NA;
+  }
+
+  // --- expressions -----------------------------------------------------------
+  // cmp := addsub (op addsub)?   op ∈ {== != < <= > >=}
+  // addsub := mul (("+"|"-") mul)*
+  // mul := primary ("*" primary)*
+  // primary := number | "-" number | ident | "(" cmp ")"
+  ExprRef parseExpr() { return parseCmp(); }
+
+  ExprRef parseCmp() {
+    ExprRef L = parseAddSub();
+    if (failed())
+      return Expr::makeConst(0);
+    static const std::pair<const char *, BinOp> CmpOps[] = {
+        {"==", BinOp::Eq}, {"!=", BinOp::Ne}, {"<=", BinOp::Le},
+        {">=", BinOp::Ge}, {"<", BinOp::Lt},  {">", BinOp::Gt}};
+    for (const auto &[S, Op] : CmpOps) {
+      if (peekPunct(S)) {
+        advance();
+        ExprRef R = parseAddSub();
+        return Expr::makeBin(Op, std::move(L), std::move(R));
+      }
+    }
+    return L;
+  }
+
+  ExprRef parseAddSub() {
+    ExprRef L = parseMul();
+    while (!failed() && (peekPunct("+") || peekPunct("-"))) {
+      BinOp Op = peekPunct("+") ? BinOp::Add : BinOp::Sub;
+      advance();
+      ExprRef R = parseMul();
+      L = Expr::makeBin(Op, std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  ExprRef parseMul() {
+    ExprRef L = parsePrimary();
+    while (!failed() && peekPunct("*")) {
+      advance();
+      ExprRef R = parsePrimary();
+      L = Expr::makeBin(BinOp::Mul, std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  ExprRef parsePrimary() {
+    if (peekIs(TokKind::Number))
+      return Expr::makeConst(static_cast<Val>(std::stoll(advance().Text)));
+    if (peekPunct("-")) {
+      advance();
+      if (!peekIs(TokKind::Number)) {
+        fail("expected number after unary '-'");
+        return Expr::makeConst(0);
+      }
+      return Expr::makeConst(static_cast<Val>(-std::stoll(advance().Text)));
+    }
+    if (peekPunct("(")) {
+      advance();
+      ExprRef E = parseExpr();
+      expectPunct(")");
+      return E;
+    }
+    if (peekIs(TokKind::Ident)) {
+      std::string Name = advance().Text;
+      if (DeclaredVars.count(Name)) {
+        fail("variable '" + Name +
+             "' in expression (memory reads need an explicit mode)");
+        return Expr::makeConst(0);
+      }
+      return Expr::makeReg(RegId(Name));
+    }
+    fail("expected expression");
+    return Expr::makeConst(0);
+  }
+
+  std::vector<Token> Toks;
+  std::size_t Idx = 0;
+  std::string Err;
+  unsigned ErrLine = 0;
+  Program P;
+  std::set<std::string> DeclaredVars;
+};
+
+} // namespace
+
+ParseResult parseProgram(const std::string &Source) {
+  std::vector<Token> Toks;
+  Lexer L(Source);
+  std::string LexErr = L.run(Toks);
+  if (!LexErr.empty()) {
+    ParseResult R;
+    R.Error = LexErr;
+    R.ErrorLine = L.errorLine();
+    return R;
+  }
+  Parser P(std::move(Toks));
+  return P.run();
+}
+
+Program parseProgramOrDie(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "psopt parse error at line %u: %s\n", R.ErrorLine,
+                 R.Error.c_str());
+    std::abort();
+  }
+  return std::move(*R.Prog);
+}
+
+} // namespace psopt

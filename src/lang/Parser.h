@@ -1,0 +1,62 @@
+//===- lang/Parser.h - Textual CSimpRTL parser ------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual CSimpRTL syntax. Grammar:
+///
+///   program   := (vardecl | funcdecl | threaddecl)*
+///   vardecl   := "var" ident ["atomic"] ";"
+///   funcdecl  := "func" ident "{" block+ "}"
+///   block     := "block" number ":" (instr ";")* term ";"
+///   instr     := "skip"
+///              | "print" "(" expr ")"
+///              | ident ".‹mode›" ":=" expr                  (store)
+///              | ident ":=" ident ".‹mode›"                 (load)
+///              | ident ":=" "cas" "(" ident "," expr ","
+///                            expr "," rmode "," wmode ")"   (CAS)
+///              | ident ":=" expr                            (assign)
+///   term      := "jmp" number | "be" expr "," number "," number
+///              | "call" ident "," number | "ret"
+///   threaddecl:= "thread" ident ";"
+///
+/// Identifiers declared with `var` are shared-memory variables; every other
+/// identifier is a register. Expressions are over registers and constants
+/// with C precedence for the supported operators. Comments run from '#' to
+/// end of line.
+///
+/// Errors are reported by value (no exceptions), with a line number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_PARSER_H
+#define PSOPT_LANG_PARSER_H
+
+#include "lang/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace psopt {
+
+/// Result of a parse: a program or an error message.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error;  ///< Empty on success.
+  unsigned ErrorLine = 0;
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses \p Source as a whole program.
+ParseResult parseProgram(const std::string &Source);
+
+/// Parses \p Source and aborts with a diagnostic on error. For tests and
+/// litmus definitions whose sources are compile-time constants.
+Program parseProgramOrDie(const std::string &Source);
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_PARSER_H

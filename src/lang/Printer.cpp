@@ -1,0 +1,49 @@
+//===- lang/Printer.cpp - Textual rendering of programs -------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Printer.h"
+
+namespace psopt {
+
+std::string printFunction(FuncId Name, const Function &F) {
+  std::string Out = "func " + Name.str() + " {\n";
+  // The entry block must be parsed first; emit it before the others.
+  auto EmitBlock = [&](BlockLabel L, const BasicBlock &B) {
+    Out += "block " + std::to_string(L) + ":\n";
+    for (const Instr &I : B.instructions())
+      Out += "  " + I.str() + ";\n";
+    Out += "  " + B.terminator().str() + ";\n";
+  };
+  if (F.hasBlock(F.entry()))
+    EmitBlock(F.entry(), F.block(F.entry()));
+  for (const auto &[L, B] : F.blocks())
+    if (L != F.entry())
+      EmitBlock(L, B);
+  Out += "}\n";
+  return Out;
+}
+
+std::string printProgram(const Program &P) {
+  std::string Out;
+  for (VarId X : P.referencedVars()) {
+    Out += "var " + X.str();
+    if (P.isAtomic(X))
+      Out += " atomic";
+    Out += ";\n";
+  }
+  // Atomic variables never touched by the code still matter for ι.
+  for (VarId X : P.atomics())
+    if (!P.referencedVars().count(X))
+      Out += "var " + X.str() + " atomic;\n";
+  Out += "\n";
+  for (const auto &[Name, F] : P.code())
+    Out += printFunction(Name, F) + "\n";
+  for (FuncId T : P.threads())
+    Out += "thread " + T.str() + ";\n";
+  return Out;
+}
+
+} // namespace psopt

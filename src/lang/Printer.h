@@ -1,0 +1,31 @@
+//===- lang/Printer.h - Textual rendering of programs -----------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders CSimpRTL programs/functions in the textual syntax accepted by
+/// lang/Parser.h, so print ∘ parse and parse ∘ print round-trip (tested in
+/// tests/lang/ParserTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_PRINTER_H
+#define PSOPT_LANG_PRINTER_H
+
+#include "lang/Program.h"
+
+#include <string>
+
+namespace psopt {
+
+/// Renders \p F as a "func <name> { ... }" body.
+std::string printFunction(FuncId Name, const Function &F);
+
+/// Renders a whole program: var declarations, functions, thread list.
+std::string printProgram(const Program &P);
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_PRINTER_H

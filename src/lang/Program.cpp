@@ -1,0 +1,60 @@
+//===- lang/Program.cpp - Whole programs ----------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Program.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+const Function &Program::function(FuncId F) const {
+  auto It = Funcs.find(F);
+  PSOPT_CHECK(It != Funcs.end(), "unknown function");
+  return It->second;
+}
+
+std::set<VarId> Program::referencedVars() const {
+  std::set<VarId> Out;
+  for (const auto &[F, Fn] : Funcs)
+    for (const auto &[L, B] : Fn.blocks())
+      for (const Instr &I : B.instructions())
+        if (I.accessesMemory())
+          Out.insert(I.var());
+  return Out;
+}
+
+std::set<Val> Program::storeConstants(FuncId F) const {
+  std::set<Val> Out = {0};
+  auto It = Funcs.find(F);
+  if (It == Funcs.end())
+    return Out;
+  for (const auto &[L, B] : It->second.blocks()) {
+    for (const Instr &I : B.instructions()) {
+      const ExprRef *E = nullptr;
+      if (I.isStore())
+        E = &I.expr();
+      else if (I.isCas())
+        E = &I.casDesired();
+      if (E)
+        if (auto V = (*E)->evalConst())
+          Out.insert(*V);
+    }
+  }
+  return Out;
+}
+
+std::set<VarId> Program::promisableVars(FuncId F) const {
+  std::set<VarId> Out;
+  auto It = Funcs.find(F);
+  if (It == Funcs.end())
+    return Out;
+  for (const auto &[L, B] : It->second.blocks())
+    for (const Instr &I : B.instructions())
+      if (I.isStore() && I.writeMode() != WriteMode::REL)
+        Out.insert(I.var());
+  return Out;
+}
+
+} // namespace psopt

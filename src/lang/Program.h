@@ -1,0 +1,82 @@
+//===- lang/Program.h - Whole programs --------------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole CSimpRTL programs (Fig 7):
+///
+///   π ::= { f1 ↦ C1, ..., fk ↦ Ck }
+///   P ::= let (π, ι) in f1 ∥ ... ∥ fn
+///
+/// A Program bundles the code π, the atomic-variable set ι and the list of
+/// thread entry functions. The same Program value is executed by either the
+/// interleaving machine (ps/Machine.h) or the non-preemptive machine
+/// (nps/NPMachine.h); the ∥ vs | distinction of the paper is which machine
+/// you run, not a property of the syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_PROGRAM_H
+#define PSOPT_LANG_PROGRAM_H
+
+#include "lang/Function.h"
+
+#include <set>
+
+namespace psopt {
+
+/// The declarations π: function name → code heap.
+using Code = std::map<FuncId, Function>;
+
+/// A whole program: let (π, ι) in f1 ∥ ... ∥ fn.
+class Program {
+public:
+  Program() = default;
+
+  const Code &code() const { return Funcs; }
+  Code &code() { return Funcs; }
+
+  bool hasFunction(FuncId F) const { return Funcs.count(F) != 0; }
+  const Function &function(FuncId F) const;
+  void setFunction(FuncId F, Function Fn) { Funcs[F] = std::move(Fn); }
+
+  /// The atomic-variable set ι. Variables in ι must be accessed with
+  /// rlx/acq/rel/CAS; all others only with na (checked by Validate).
+  const std::set<VarId> &atomics() const { return Atomics; }
+  void setAtomics(std::set<VarId> A) { Atomics = std::move(A); }
+  void addAtomic(VarId X) { Atomics.insert(X); }
+  bool isAtomic(VarId X) const { return Atomics.count(X) != 0; }
+
+  /// Thread entry functions f1 ... fn, in thread-id order.
+  const std::vector<FuncId> &threads() const { return Threads; }
+  void setThreads(std::vector<FuncId> T) { Threads = std::move(T); }
+  void addThread(FuncId F) { Threads.push_back(F); }
+  unsigned threadCount() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// All variables syntactically accessed anywhere in π.
+  std::set<VarId> referencedVars() const;
+
+  /// All constants appearing in store/CAS-desired expressions of function
+  /// \p F (plus 0). This is the default promise value domain used by the
+  /// explorer (see DESIGN.md §2).
+  std::set<Val> storeConstants(FuncId F) const;
+
+  /// Variables stored non-atomically or relaxed anywhere in function \p F;
+  /// the default promise location domain.
+  std::set<VarId> promisableVars(FuncId F) const;
+
+  bool operator==(const Program &O) const {
+    return Funcs == O.Funcs && Atomics == O.Atomics && Threads == O.Threads;
+  }
+
+private:
+  Code Funcs;
+  std::set<VarId> Atomics;
+  std::vector<FuncId> Threads;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_PROGRAM_H

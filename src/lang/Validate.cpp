@@ -1,0 +1,78 @@
+//===- lang/Validate.cpp - Static well-formedness checks -------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Validate.h"
+
+namespace psopt {
+
+static void validateFunction(const Program &P, FuncId Name, const Function &F,
+                             std::vector<ValidationError> &Errs) {
+  auto Err = [&](const std::string &M) {
+    Errs.push_back({"func " + Name.str() + ": " + M});
+  };
+
+  if (!F.hasBlock(F.entry())) {
+    Err("entry block " + std::to_string(F.entry()) + " does not exist");
+    return;
+  }
+
+  for (const auto &[L, B] : F.blocks()) {
+    std::string Where = "block " + std::to_string(L);
+
+    for (const Instr &I : B.instructions()) {
+      if (!I.accessesMemory())
+        continue;
+      VarId X = I.var();
+      bool Atomic = P.isAtomic(X);
+      switch (I.kind()) {
+      case Instr::Kind::Load:
+        if (Atomic && I.readMode() == ReadMode::NA)
+          Err(Where + ": non-atomic read of atomic variable " + X.str());
+        if (!Atomic && I.readMode() != ReadMode::NA)
+          Err(Where + ": atomic read of non-atomic variable " + X.str());
+        break;
+      case Instr::Kind::Store:
+        if (Atomic && I.writeMode() == WriteMode::NA)
+          Err(Where + ": non-atomic write of atomic variable " + X.str());
+        if (!Atomic && I.writeMode() != WriteMode::NA)
+          Err(Where + ": atomic write of non-atomic variable " + X.str());
+        break;
+      case Instr::Kind::Cas:
+        if (!Atomic)
+          Err(Where + ": CAS on non-atomic variable " + X.str());
+        if (I.readMode() == ReadMode::NA || I.writeMode() == WriteMode::NA)
+          Err(Where + ": CAS with non-atomic access mode");
+        break;
+      default:
+        break;
+      }
+    }
+
+    const Terminator &T = B.terminator();
+    for (BlockLabel Succ : T.successors())
+      if (!F.hasBlock(Succ))
+        Err(Where + ": jump target " + std::to_string(Succ) +
+            " does not exist");
+    if (T.isCall() && !P.hasFunction(T.callee()))
+      Err(Where + ": call to undefined function " + T.callee().str());
+  }
+}
+
+std::vector<ValidationError> validateProgram(const Program &P) {
+  std::vector<ValidationError> Errs;
+  for (const auto &[Name, F] : P.code())
+    validateFunction(P, Name, F, Errs);
+  for (FuncId T : P.threads())
+    if (!P.hasFunction(T))
+      Errs.push_back({"thread entry " + T.str() + " is not defined"});
+  if (P.threads().empty())
+    Errs.push_back({"program declares no threads"});
+  return Errs;
+}
+
+bool isValidProgram(const Program &P) { return validateProgram(P).empty(); }
+
+} // namespace psopt

@@ -1,0 +1,45 @@
+//===- lang/Validate.h - Static well-formedness checks ----------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static well-formedness checks for CSimpRTL programs:
+///
+///  * control integrity — jump/branch/call-return targets exist, callees
+///    exist, entry blocks exist, thread entries exist;
+///  * mode discipline (§3) — variables in ι are accessed only with
+///    rlx/acq/rel/CAS; variables outside ι only with na; CAS only targets
+///    atomic variables.
+///
+/// The dynamic semantics aborts on violations (lang is untyped), but every
+/// program in the test suite is expected to validate cleanly, and the
+/// optimizers preserve validity (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LANG_VALIDATE_H
+#define PSOPT_LANG_VALIDATE_H
+
+#include "lang/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace psopt {
+
+/// One validation failure, human-readable.
+struct ValidationError {
+  std::string Message;
+};
+
+/// Runs all checks on \p P; returns all failures (empty = valid).
+std::vector<ValidationError> validateProgram(const Program &P);
+
+/// Convenience wrapper: true iff validateProgram(P) is empty.
+bool isValidProgram(const Program &P);
+
+} // namespace psopt
+
+#endif // PSOPT_LANG_VALIDATE_H

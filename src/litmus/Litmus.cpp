@@ -1,0 +1,461 @@
+//===- litmus/Litmus.cpp - Litmus programs from the paper --------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+#include "lang/Parser.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+namespace {
+
+LitmusTest make(std::string Name, std::string Desc, const char *Src) {
+  LitmusTest T;
+  T.Name = std::move(Name);
+  T.Description = std::move(Desc);
+  T.Prog = parseProgramOrDie(Src);
+  return T;
+}
+
+std::vector<LitmusTest> buildAll() {
+  std::vector<LitmusTest> All;
+
+  // --- §2.1 (SB): a read needs not read the latest write. -------------------
+  {
+    LitmusTest T = make("sb", "store buffering: r1 = r2 = 0 is allowed",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: x.rlx := 1; r1 := y.rlx; print(r1); ret; }
+      func t2 { block 0: y.rlx := 1; r2 := x.rlx; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {0, 1}, {1, 1}};
+    All.push_back(std::move(T));
+  }
+
+  // --- §2.1 (LB): promises enable load buffering. ----------------------------
+  {
+    LitmusTest T = make("lb", "load buffering: r1 = r2 = 1 needs a promise",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: r1 := x.rlx; y.rlx := 1; print(r1); ret; }
+      func t2 { block 0: r2 := y.rlx; x.rlx := r2; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {1, 1}};
+    T.NeedsPromises = true;
+    All.push_back(std::move(T));
+  }
+
+  // --- §2.1: out-of-thin-air variant of LB is forbidden. ---------------------
+  {
+    LitmusTest T = make("lb_oota",
+                        "out-of-thin-air: r1 = r2 = 1 is forbidden because "
+                        "the promise cannot be certified",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: r1 := x.rlx; y.rlx := r1; print(r1); ret; }
+      func t2 { block 0: r2 := y.rlx; x.rlx := r2; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}};
+    T.ForbiddenOutcomes = {{1, 1}};
+    T.NeedsPromises = true;
+    All.push_back(std::move(T));
+  }
+
+  // --- Message passing with release/acquire synchronization. -----------------
+  {
+    LitmusTest T = make("mp_rel_acq",
+                        "message passing: acquire read of the flag "
+                        "synchronizes, the payload read must see 42",
+                        R"(var z; var y atomic;
+      func t1 { block 0: z.na := 42; y.rel := 1; ret; }
+      func t2 { block 0: r := y.acq; be r == 1, 1, 2;
+                block 1: r2 := z.na; print(r2); ret;
+                block 2: print(-1); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{42}, {-1}};
+    T.ForbiddenOutcomes = {{0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Message passing with relaxed flag: the payload read may miss 42. ------
+  {
+    LitmusTest T = make("mp_rlx",
+                        "message passing with relaxed accesses: stale payload "
+                        "value 0 becomes observable",
+                        R"(var z; var y atomic;
+      func t1 { block 0: z.na := 42; y.rlx := 1; ret; }
+      func t2 { block 0: r := y.rlx; be r == 1, 1, 2;
+                block 1: r2 := z.na; print(r2); ret;
+                block 2: print(-1); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{42}, {0}, {-1}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Per-location coherence. -----------------------------------------------
+  {
+    LitmusTest T = make("coherence",
+                        "CoRR: reads of one location respect message order "
+                        "(r1*10 + r2 printed)",
+                        R"(var x atomic;
+      func w { block 0: x.rlx := 1; x.rlx := 2; ret; }
+      func r { block 0: r1 := x.rlx; r2 := x.rlx; print(r1 * 10 + r2); ret; }
+      thread w; thread r;)");
+    T.ExpectedOutcomes = {{0}, {1}, {2}, {11}, {12}, {22}};
+    T.ForbiddenOutcomes = {{21}, {10}, {20}};
+    All.push_back(std::move(T));
+  }
+
+  // --- §3: two CAS cannot both succeed reading the same write. ---------------
+  {
+    LitmusTest T = make("cas_exclusive",
+                        "competing CAS: exactly one succeeds (from/to "
+                        "interval adjacency)",
+                        R"(var x atomic;
+      func c1 { block 0: r1 := cas(x, 0, 1, rlx, rlx); print(r1); ret; }
+      func c2 { block 0: r2 := cas(x, 0, 1, rlx, rlx); print(r2); ret; }
+      thread c1; thread c2;)");
+    T.ExpectedOutcomes = {{1, 0}};
+    T.ForbiddenOutcomes = {{1, 1}, {0, 0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- SB with release/acquire: still weak (RA does not forbid SB). ----------
+  {
+    LitmusTest T = make("sb_rel_acq",
+                        "store buffering with rel/acq accesses: the weak "
+                        "outcome survives (release-acquire is not SC)",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: x.rel := 1; r1 := y.acq; print(r1); ret; }
+      func t2 { block 0: y.rel := 1; r2 := x.acq; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {0, 1}, {1, 1}};
+    All.push_back(std::move(T));
+  }
+
+  // --- LB with acquire reads: PS still allows it via promises. ----------------
+  {
+    LitmusTest T = make("lb_acq",
+                        "load buffering with acquire reads: the promise "
+                        "machinery still certifies (a known weakness PS "
+                        "accepts for efficient ARM mapping)",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: r1 := x.acq; y.rlx := 1; print(r1); ret; }
+      func t2 { block 0: r2 := y.acq; x.rlx := r2; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {1, 1}};
+    T.NeedsPromises = true;
+    All.push_back(std::move(T));
+  }
+
+  // --- Write-to-read causality (WRC). -----------------------------------------
+  {
+    LitmusTest T = make("wrc",
+                        "write-to-read causality: the release/acquire chain "
+                        "through t2 forces t3 to see x = 1",
+                        R"(var x atomic; var y atomic;
+      func w { block 0: x.rlx := 1; ret; }
+      func rel { block 0: r1 := x.rlx; be r1 == 1, 1, 2;
+                 block 1: y.rel := 1; ret;
+                 block 2: ret; }
+      func acq { block 0: r2 := y.acq; be r2 == 1, 1, 2;
+                 block 1: r3 := x.rlx; print(r3); ret;
+                 block 2: print(-1); ret; }
+      thread w; thread rel; thread acq;)");
+    T.ExpectedOutcomes = {{1}, {-1}};
+    T.ForbiddenOutcomes = {{0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- IRIW with relaxed accesses: reads may disagree on the order. -----------
+  {
+    LitmusTest T = make("iriw_rlx",
+                        "independent reads of independent writes, relaxed: "
+                        "the two readers may see the writes in opposite "
+                        "orders (printed r1*10+r2 per reader)",
+                        R"(var x atomic; var y atomic;
+      func w1 { block 0: x.rlx := 1; ret; }
+      func w2 { block 0: y.rlx := 1; ret; }
+      func rd1 { block 0: r1 := x.rlx; r2 := y.rlx;
+                 print(r1 * 10 + r2); ret; }
+      func rd2 { block 0: r3 := y.rlx; r4 := x.rlx;
+                 print(r3 * 10 + r4); ret; }
+      thread w1; thread w2; thread rd1; thread rd2;)");
+    // The weak outcome: rd1 sees x but not y, rd2 sees y but not x.
+    T.ExpectedOutcomes = {{10, 10}, {11, 11}, {0, 0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- 2+2W: cross-ordered double writes. --------------------------------------
+  {
+    LitmusTest T = make("two_plus_two_w",
+                        "2+2W: both threads write both locations in opposite "
+                        "orders; each prints its final read of its first "
+                        "location",
+                        R"(var x atomic; var y atomic;
+      func t1 { block 0: x.rlx := 1; y.rlx := 2; r1 := x.rlx;
+                print(r1); ret; }
+      func t2 { block 0: y.rlx := 1; x.rlx := 2; r2 := y.rlx;
+                print(r2); ret; }
+      thread t1; thread t2;)");
+    // Reading one's own write is guaranteed only as a lower view bound;
+    // the other thread's 2 may land above it.
+    T.ExpectedOutcomes = {{1, 1}, {2, 2}, {1, 2}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 4: promise-sensitive write-write race freedom. --------------------
+  {
+    LitmusTest T = make("fig4",
+                        "Fig 4: both threads write z only in executions that "
+                        "cannot coexist; ww-race-free thanks to promise "
+                        "certification",
+                        R"(var x atomic; var y atomic; var z;
+      func t1 { block 0: r1 := y.rlx; be r1 == 1, 1, 2;
+                block 1: z.na := 1; ret;
+                block 2: x.rlx := 1; ret; }
+      func t2 { block 0: r2 := x.rlx; be r2 == 1, 1, 2;
+                block 1: z.na := 2; y.rlx := 1; ret;
+                block 2: ret; }
+      thread t1; thread t2;)");
+    T.NeedsPromises = true;
+    T.IsWWRaceFree = true;
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 1: LICM across an acquire read (source vs naive target). ----------
+  // Loop bound reduced from 10 to 2 (illustrative bound, same phenomena).
+  {
+    LitmusTest T = make("fig1_acq_src",
+                        "Fig 1 foo(): the y read is protected by the acquire "
+                        "spin; only 1 can be printed",
+                        R"(var x atomic; var y;
+      func foo { block 0: r1 := 0; r2 := 0; jmp 1;
+                 block 1: be r1 < 2, 2, 4;
+                 block 2: r3 := x.acq; be r3 == 0, 2, 3;
+                 block 3: r2 := y.na; r1 := r1 + 1; jmp 1;
+                 block 4: print(r2); ret; }
+      func g { block 0: y.na := 1; x.rel := 1; ret; }
+      thread foo; thread g;)");
+    T.ExpectedOutcomes = {{1}};
+    T.ForbiddenOutcomes = {{0}};
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("fig1_acq_tgt",
+                        "Fig 1 foo_opt(): hoisting y's read above the acquire "
+                        "spin leaks the initial value 0 — refinement fails",
+                        R"(var x atomic; var y;
+      func foo { block 0: r1 := 0; r2 := 0; r2 := y.na; jmp 1;
+                 block 1: be r1 < 2, 2, 4;
+                 block 2: r3 := x.acq; be r3 == 0, 2, 3;
+                 block 3: r1 := r1 + 1; jmp 1;
+                 block 4: print(r2); ret; }
+      func g { block 0: y.na := 1; x.rel := 1; ret; }
+      thread foo; thread g;)");
+    T.ExpectedOutcomes = {{1}, {0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 1 with relaxed spin: the hoist becomes sound. ----------------------
+  {
+    LitmusTest T = make("fig1_rlx_src",
+                        "Fig 1 with x read relaxed: no synchronization, 0 and "
+                        "1 both printable",
+                        R"(var x atomic; var y;
+      func foo { block 0: r1 := 0; r2 := 0; jmp 1;
+                 block 1: be r1 < 2, 2, 4;
+                 block 2: r3 := x.rlx; be r3 == 0, 2, 3;
+                 block 3: r2 := y.na; r1 := r1 + 1; jmp 1;
+                 block 4: print(r2); ret; }
+      func g { block 0: y.na := 1; x.rel := 1; ret; }
+      thread foo; thread g;)");
+    T.ExpectedOutcomes = {{1}, {0}};
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("fig1_rlx_tgt",
+                        "Fig 1 with x read relaxed, y read hoisted: refines "
+                        "the relaxed source",
+                        R"(var x atomic; var y;
+      func foo { block 0: r1 := 0; r2 := 0; r2 := y.na; jmp 1;
+                 block 1: be r1 < 2, 2, 4;
+                 block 2: r3 := x.rlx; be r3 == 0, 2, 3;
+                 block 3: r1 := r1 + 1; jmp 1;
+                 block 4: print(r2); ret; }
+      func g { block 0: y.na := 1; x.rel := 1; ret; }
+      thread foo; thread g;)");
+    T.ExpectedOutcomes = {{1}, {0}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 5(b): LInv introduces a read-write race (loop bound 8 → 2,
+  // payload 9 → kept, condition r1 < 8 kept so the loop never runs when the
+  // acquire synchronizes). ------------------------------------------------------
+  {
+    LitmusTest T = make("fig5_src",
+                        "Fig 5(b) source: x is only read under r1 < 8, and "
+                        "the acquire forces r1 = 9 — no race on x",
+                        R"(var x; var z; var y atomic;
+      func t1 { block 0: r0 := y.acq; be r0 == 1, 1, 5;
+                block 1: r1 := z.na; jmp 2;
+                block 2: be r1 < 8, 3, 4;
+                block 3: r2 := x.na; r1 := r1 + 1; jmp 2;
+                block 4: print(r2); ret;
+                block 5: print(-1); ret; }
+      func g { block 0: z.na := 9; y.rel := 1; x.na := 5; ret; }
+      thread t1; thread g;)");
+    T.ExpectedOutcomes = {{0}, {-1}};
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("fig5_tgt",
+                        "Fig 5(b) target after LInv: the hoisted x read races "
+                        "with g's write — yet still refines the source",
+                        R"(var x; var z; var y atomic;
+      func t1 { block 0: r0 := y.acq; be r0 == 1, 1, 5;
+                block 1: r1 := z.na; r9 := x.na; jmp 2;
+                block 2: be r1 < 8, 3, 4;
+                block 3: r2 := r9; r1 := r1 + 1; jmp 2;
+                block 4: print(r2); ret;
+                block 5: print(-1); ret; }
+      func g { block 0: z.na := 9; y.rel := 1; x.na := 5; ret; }
+      thread t1; thread g;)");
+    T.ExpectedOutcomes = {{0}, {-1}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 15: DCE across a release write is unsound. -------------------------
+  {
+    LitmusTest T = make("fig15_src",
+                        "Fig 15 source: g can print 2 or 4, never 0, thanks "
+                        "to the release-acquire synchronization",
+                        R"(var y; var x atomic;
+      func t1 { block 0: y.na := 2; x.rel := 1; y.na := 4; ret; }
+      func g  { block 0: r1 := x.acq; be r1 == 1, 1, 2;
+                block 1: r2 := y.na; print(r2); ret;
+                block 2: print(-1); ret; }
+      thread t1; thread g;)");
+    T.ExpectedOutcomes = {{2}, {4}, {-1}};
+    T.ForbiddenOutcomes = {{0}};
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("fig15_tgt_bad",
+                        "Fig 15 incorrect target: eliminating y := 2 across "
+                        "the release write lets g print 0",
+                        R"(var y; var x atomic;
+      func t1 { block 0: skip; x.rel := 1; y.na := 4; ret; }
+      func g  { block 0: r1 := x.acq; be r1 == 1, 1, 2;
+                block 1: r2 := y.na; print(r2); ret;
+                block 2: print(-1); ret; }
+      thread t1; thread g;)");
+    T.ExpectedOutcomes = {{0}, {4}, {-1}};
+    All.push_back(std::move(T));
+  }
+
+  // --- Fig 16 / §7.1 example (1): DCE of a dead store, with an observer. ------
+  {
+    LitmusTest T = make("fig16_src",
+                        "§7.1 example (1) source: x := 1 then x := 2; an "
+                        "observer may see 0, 1 or 2",
+                        R"(var x;
+      func t1 { block 0: x.na := 1; x.na := 2; ret; }
+      func obs { block 0: r := x.na; print(r); ret; }
+      thread t1; thread obs;)");
+    T.ExpectedOutcomes = {{0}, {1}, {2}};
+    T.IsWWRaceFree = true; // x is written by t1 only.
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("fig16_tgt",
+                        "§7.1 example (1) target: the dead store is gone; the "
+                        "observer sees 0 or 2 — a subset of the source",
+                        R"(var x;
+      func t1 { block 0: skip; x.na := 2; ret; }
+      func obs { block 0: r := x.na; print(r); ret; }
+      thread t1; thread obs;)");
+    T.ExpectedOutcomes = {{0}, {2}};
+    All.push_back(std::move(T));
+  }
+
+  // --- §2.3 / Fig 14(d): reordering of non-atomic accesses. -------------------
+  {
+    LitmusTest T = make("reorder_src",
+                        "Reorder source: r := x; y := 2 — the {2,2} outcome "
+                        "requires promising y := 2",
+                        R"(var x; var y;
+      func t1 { block 0: r := x.na; y.na := 2; print(r); ret; }
+      func t2 { block 0: r2 := y.na; x.na := r2; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {2, 2}};
+    T.NeedsPromises = true;
+    All.push_back(std::move(T));
+  }
+  {
+    LitmusTest T = make("reorder_tgt",
+                        "Reorder target: y := 2; r := x — {2,2} without "
+                        "promises; refines the source",
+                        R"(var x; var y;
+      func t1 { block 0: y.na := 2; r := x.na; print(r); ret; }
+      func t2 { block 0: r2 := y.na; x.na := r2; print(r2); ret; }
+      thread t1; thread t2;)");
+    T.ExpectedOutcomes = {{0, 0}, {2, 2}};
+    // The target does not need promises for its own outcomes, but the
+    // non-preemptive machine needs them to mimic interleavings inside the
+    // y := 2; r := x block (§4) — Thm 4.1 holds given the promise steps.
+    T.NeedsPromises = true;
+    All.push_back(std::move(T));
+  }
+
+  // --- A blunt write-write race. -----------------------------------------------
+  {
+    LitmusTest T = make("wwrace_simple",
+                        "two unsynchronized non-atomic writes to x: the "
+                        "canonical ww race",
+                        R"(var x;
+      func t1 { block 0: x.na := 1; ret; }
+      func t2 { block 0: x.na := 2; ret; }
+      thread t1; thread t2;)");
+    T.IsWWRaceFree = false;
+    All.push_back(std::move(T));
+  }
+
+  // --- CAS spinlock: mutual exclusion makes the na counter race-free. ---------
+  {
+    LitmusTest T = make("spinlock",
+                        "two threads increment a non-atomic counter under a "
+                        "CAS spinlock and print it inside the critical "
+                        "section; increments serialize",
+                        R"(var l atomic; var c;
+      func p { block 0: r := cas(l, 0, 1, acq, rlx); be r == 1, 1, 0;
+               block 1: rc := c.na; c.na := rc + 1; print(rc + 1);
+                        l.rel := 0; ret; }
+      func q { block 0: r := cas(l, 0, 1, acq, rlx); be r == 1, 1, 0;
+               block 1: rc := c.na; c.na := rc + 1; print(rc + 1);
+                        l.rel := 0; ret; }
+      thread p; thread q;)");
+    T.ExpectedOutcomes = {{1, 2}};
+    T.ForbiddenOutcomes = {{1, 1}, {2, 2}};
+    T.IsWWRaceFree = true;
+    All.push_back(std::move(T));
+  }
+
+  return All;
+}
+
+} // namespace
+
+const std::vector<LitmusTest> &allLitmusTests() {
+  static const std::vector<LitmusTest> All = buildAll();
+  return All;
+}
+
+const LitmusTest &litmus(const std::string &Name) {
+  for (const LitmusTest &T : allLitmusTests())
+    if (T.Name == Name)
+      return T;
+  PSOPT_UNREACHABLE("unknown litmus test");
+}
+
+} // namespace psopt

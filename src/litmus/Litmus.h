@@ -1,0 +1,69 @@
+//===- litmus/Litmus.h - Litmus programs from the paper ---------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named litmus programs: every example program in the paper
+/// (SB/LB of §2.1, Fig 1, Fig 4, Fig 5, Fig 15, Fig 16, the Reorder example
+/// of §2.3/Fig 14(d), the CAS-exclusivity example of §3) plus standard
+/// weak-memory litmus tests (message passing, coherence) and workbench
+/// extras (spinlock). Each test carries its expected/forbidden outcomes —
+/// outcomes are multisets of printed values of *completed* (done) runs.
+///
+/// Loops from the paper's figures use small constant trip counts (the
+/// figures' bounds are illustrative; smaller bounds keep exhaustive
+/// exploration fast without changing which phenomena occur).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LITMUS_LITMUS_H
+#define PSOPT_LITMUS_LITMUS_H
+
+#include "lang/Program.h"
+#include "ps/Config.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psopt {
+
+/// One named litmus program with outcome expectations.
+struct LitmusTest {
+  std::string Name;
+  std::string Description;
+  Program Prog;
+
+  /// Outcomes (multisets of printed values over done traces) that must be
+  /// observable.
+  std::vector<std::multiset<Val>> ExpectedOutcomes;
+
+  /// Outcomes that must not be observable.
+  std::vector<std::multiset<Val>> ForbiddenOutcomes;
+
+  /// Whether the expected outcomes require promise steps (LB-style).
+  bool NeedsPromises = false;
+
+  /// Whether the program is write-write race free (ground truth for the
+  /// race-detector tests).
+  bool IsWWRaceFree = true;
+
+  /// Suggested step configuration for exhaustive exploration.
+  StepConfig SuggestedConfig() const {
+    StepConfig C;
+    C.EnablePromises = NeedsPromises;
+    return C;
+  }
+};
+
+/// All registered litmus tests (stable order).
+const std::vector<LitmusTest> &allLitmusTests();
+
+/// Looks up a litmus test by name; aborts if unknown.
+const LitmusTest &litmus(const std::string &Name);
+
+} // namespace psopt
+
+#endif // PSOPT_LITMUS_LITMUS_H

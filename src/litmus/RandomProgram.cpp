@@ -1,0 +1,210 @@
+//===- litmus/RandomProgram.cpp - Random program generation ---------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/RandomProgram.h"
+#include "lang/Builder.h"
+
+#include <random>
+
+namespace psopt {
+
+namespace {
+
+/// Per-program generation state.
+class Generator {
+public:
+  explicit Generator(const RandomProgramConfig &C) : C(C), Rng(C.Seed) {
+    for (unsigned I = 0; I < C.NumNaVars; ++I)
+      NaVars.push_back(VarId("d" + std::to_string(I)));
+    for (unsigned I = 0; I < C.NumAtomicVars; ++I)
+      AtomicVars.push_back(VarId("a" + std::to_string(I)));
+  }
+
+  Program generate() {
+    Program P;
+    for (VarId A : AtomicVars)
+      P.addAtomic(A);
+    for (unsigned T = 0; T < C.NumThreads; ++T) {
+      FuncId Name("rt" + std::to_string(T));
+      P.setFunction(Name, generateThread(T));
+      P.addThread(Name);
+    }
+    return P;
+  }
+
+private:
+  unsigned pick(unsigned Bound) {
+    return std::uniform_int_distribution<unsigned>(0, Bound - 1)(Rng);
+  }
+  bool coin() { return pick(2) == 0; }
+
+  RegId reg(unsigned T, unsigned I) {
+    return RegId("q" + std::to_string(T) + "_" + std::to_string(I));
+  }
+  RegId randomReg(unsigned T) { return reg(T, pick(C.NumRegs)); }
+
+  /// A small register/constant expression.
+  ExprRef randomExpr(unsigned T) {
+    switch (pick(4)) {
+    case 0:
+      return dsl::cst(static_cast<Val>(pick(3)));
+    case 1:
+      return dsl::reg(randomReg(T));
+    case 2:
+      return dsl::add(dsl::reg(randomReg(T)),
+                      dsl::cst(static_cast<Val>(pick(3))));
+    default:
+      return dsl::add(dsl::reg(randomReg(T)), dsl::reg(randomReg(T)));
+    }
+  }
+
+  /// One random straight-line instruction for thread \p T.
+  Instr randomInstr(unsigned T) {
+    // Weighted choice: memory traffic dominates.
+    switch (pick(6)) {
+    case 0: { // non-atomic load
+      VarId X = NaVars[pick(static_cast<unsigned>(NaVars.size()))];
+      return Instr::makeLoad(randomReg(T), X, ReadMode::NA);
+    }
+    case 1: { // non-atomic store (restricted to owned vars when exclusive)
+      VarId X = naStoreTarget(T);
+      return Instr::makeStore(X, randomExpr(T), WriteMode::NA);
+    }
+    case 2: { // atomic load
+      VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
+      return Instr::makeLoad(randomReg(T), A,
+                             coin() ? ReadMode::RLX : ReadMode::ACQ);
+    }
+    case 3: { // atomic store
+      VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
+      return Instr::makeStore(A, randomExpr(T),
+                              coin() ? WriteMode::RLX : WriteMode::REL);
+    }
+    case 4: { // CAS (or assign when disabled)
+      if (C.AllowCas) {
+        VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
+        return Instr::makeCas(randomReg(T), A,
+                              dsl::cst(static_cast<Val>(pick(2))),
+                              dsl::cst(static_cast<Val>(pick(3))),
+                              coin() ? ReadMode::RLX : ReadMode::ACQ,
+                              coin() ? WriteMode::RLX : WriteMode::REL);
+      }
+      [[fallthrough]];
+    }
+    default: // register computation
+      return Instr::makeAssign(randomReg(T), randomExpr(T));
+    }
+  }
+
+  VarId naStoreTarget(unsigned T) {
+    if (!C.ExclusiveNaWriters)
+      return NaVars[pick(static_cast<unsigned>(NaVars.size()))];
+    // Partition variables round-robin over threads; a thread only stores
+    // to variables it owns (index ≡ T mod NumThreads). When the thread
+    // owns none, fall back to a private dummy variable.
+    std::vector<VarId> Owned;
+    for (unsigned I = 0; I < NaVars.size(); ++I)
+      if (I % C.NumThreads == T)
+        Owned.push_back(NaVars[I]);
+    if (Owned.empty())
+      return VarId("dpriv" + std::to_string(T));
+    return Owned[pick(static_cast<unsigned>(Owned.size()))];
+  }
+
+  Function generateThread(unsigned T) {
+    FunctionBuilder FB;
+    BlockLabel Next = 0;
+
+    // Optional loop skeleton: q_ctr := TripCount; loop body; countdown.
+    bool Loop = C.AllowLoop && coin();
+    bool Branch = !Loop && C.AllowBranch && coin();
+    RegId Ctr = RegId("qctr" + std::to_string(T));
+
+    if (Loop) {
+      FB.startBlock(Next).assign(Ctr, static_cast<Val>(C.LoopTripCount));
+      FB.jmp(1);
+      FB.startBlock(1).be(dsl::lt(dsl::cst(0), dsl::reg(Ctr)), 2, 3);
+      FB.startBlock(2);
+      for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+        appendRandom(FB, T);
+      FB.assign(Ctr, dsl::sub(dsl::reg(Ctr), dsl::cst(1))).jmp(1);
+      FB.startBlock(3);
+      emitPrints(FB, T);
+      FB.ret();
+      return FB.take();
+    }
+
+    if (Branch) {
+      FB.startBlock(0);
+      unsigned Half = C.InstrsPerThread / 2;
+      for (unsigned I = 0; I < Half; ++I)
+        appendRandom(FB, T);
+      FB.be(dsl::eq(dsl::reg(randomReg(T)), dsl::cst(0)), 1, 2);
+      FB.startBlock(1);
+      appendRandom(FB, T);
+      FB.jmp(3);
+      FB.startBlock(2);
+      appendRandom(FB, T);
+      FB.jmp(3);
+      FB.startBlock(3);
+      for (unsigned I = Half; I < C.InstrsPerThread; ++I)
+        appendRandom(FB, T);
+      emitPrints(FB, T);
+      FB.ret();
+      return FB.take();
+    }
+
+    FB.startBlock(0);
+    for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+      appendRandom(FB, T);
+    emitPrints(FB, T);
+    FB.ret();
+    return FB.take();
+  }
+
+  void appendRandom(FunctionBuilder &FB, unsigned T) {
+    Instr I = randomInstr(T);
+    switch (I.kind()) {
+    case Instr::Kind::Load:
+      FB.load(I.dest(), I.var(), I.readMode());
+      break;
+    case Instr::Kind::Store:
+      FB.store(I.var(), I.expr(), I.writeMode());
+      break;
+    case Instr::Kind::Cas:
+      FB.cas(I.dest(), I.var(), I.casExpected(), I.casDesired(), I.readMode(),
+             I.writeMode());
+      break;
+    case Instr::Kind::Assign:
+      FB.assign(I.dest(), I.expr());
+      break;
+    default:
+      FB.skip();
+      break;
+    }
+  }
+
+  void emitPrints(FunctionBuilder &FB, unsigned T) {
+    // Tag outputs with the thread id so traces identify the printer.
+    for (unsigned I = 0; I < C.PrintsPerThread; ++I)
+      FB.print(dsl::add(dsl::mul(dsl::reg(randomReg(T)), dsl::cst(10)),
+                        dsl::cst(static_cast<Val>(T))));
+  }
+
+  RandomProgramConfig C;
+  std::mt19937_64 Rng;
+  std::vector<VarId> NaVars;
+  std::vector<VarId> AtomicVars;
+};
+
+} // namespace
+
+Program generateRandomProgram(const RandomProgramConfig &C) {
+  Generator G(C);
+  return G.generate();
+}
+
+} // namespace psopt

@@ -1,0 +1,53 @@
+//===- litmus/RandomProgram.h - Random program generation -------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of small concurrent CSimpRTL programs, used by the
+/// property-based tests and benches:
+///
+///  * Thm 4.1 (machine equivalence) is quantified over *all* programs, so
+///    the generator can produce racy ones;
+///  * Thm 6.6 (optimizer correctness) assumes ww-RF sources, which the
+///    generator guarantees *by construction* when ExclusiveNaWriters is
+///    set: each non-atomic variable is written by at most one thread, so no
+///    two threads ever race on a write.
+///
+/// Generated programs always validate and always terminate (branches are
+/// forward-only; optional loops are counted down from a constant bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_LITMUS_RANDOMPROGRAM_H
+#define PSOPT_LITMUS_RANDOMPROGRAM_H
+
+#include "lang/Program.h"
+
+#include <cstdint>
+
+namespace psopt {
+
+/// Generator knobs.
+struct RandomProgramConfig {
+  std::uint64_t Seed = 0;
+  unsigned NumThreads = 2;
+  unsigned InstrsPerThread = 5;  ///< straight-line instructions per thread
+  unsigned NumNaVars = 2;        ///< d0, d1, ...
+  unsigned NumAtomicVars = 1;    ///< a0, a1, ...
+  unsigned NumRegs = 3;          ///< q0, q1, ... per thread
+  bool AllowCas = true;
+  bool AllowBranch = true;       ///< one forward diamond per thread
+  bool AllowLoop = false;        ///< one constant-bounded loop per thread
+  unsigned LoopTripCount = 2;
+  bool ExclusiveNaWriters = true;///< ww-RF by construction
+  unsigned PrintsPerThread = 1;  ///< trailing prints of register values
+};
+
+/// Generates a program from \p C. Deterministic in the seed.
+Program generateRandomProgram(const RandomProgramConfig &C);
+
+} // namespace psopt
+
+#endif // PSOPT_LITMUS_RANDOMPROGRAM_H

@@ -1,0 +1,28 @@
+//===- nps/NPMachine.cpp - The non-preemptive machine -----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nps/NPMachine.h"
+
+namespace psopt {
+
+void NonPreemptiveMachine::successors(const MachineState &S,
+                                      std::vector<MachineSuccessor> &Out) const {
+  Out.clear();
+  if (S.SwitchAllowed) {
+    // β = ◦: any thread may step (switching is fused into enumeration);
+    // promise/reserve steps are allowed.
+    for (Tid T = 0; T < static_cast<Tid>(S.Threads.size()); ++T)
+      liftThreadSuccessors(S, T, /*AllowPromiseReserve=*/true,
+                           /*TrackNP=*/true, Out);
+    return;
+  }
+  // β = •: only the current thread may step, and it may not promise or
+  // reserve until it re-opens the switch bit with an atomic step.
+  liftThreadSuccessors(S, S.Cur, /*AllowPromiseReserve=*/false,
+                       /*TrackNP=*/true, Out);
+}
+
+} // namespace psopt

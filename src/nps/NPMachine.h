@@ -1,0 +1,45 @@
+//===- nps/NPMachine.h - The non-preemptive machine -------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-preemptive promising machine of §4 (Fig 10). It reuses the
+/// PS2.1 thread step relation unchanged; the difference is purely *who may
+/// step when*, governed by the switch bit β:
+///
+///  * a non-atomic step (class NA) turns β off — no other thread may run
+///    until the current thread performs an atomic step;
+///  * an atomic step (class AT) turns β on;
+///  * promise and reserve steps require β = ◦ and keep it;
+///  * cancel steps are allowed anywhere and keep β.
+///
+/// Context switches (choosing a different stepping thread) are permitted
+/// only when β = ◦. This machine generates the same observable behaviors
+/// as the interleaving machine (Thm 4.1), with a smaller state graph —
+/// checked empirically by tests/equiv and measured by bench_statespace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_NPS_NPMACHINE_H
+#define PSOPT_NPS_NPMACHINE_H
+
+#include "ps/Machine.h"
+
+namespace psopt {
+
+/// The non-preemptive machine (| composition of Fig 10).
+class NonPreemptiveMachine : public Machine {
+public:
+  NonPreemptiveMachine(const Program &P, StepConfig C) : Machine(P, C) {}
+
+  void successors(const MachineState &S,
+                  std::vector<MachineSuccessor> &Out) const override;
+
+  const char *name() const override { return "non-preemptive"; }
+};
+
+} // namespace psopt
+
+#endif // PSOPT_NPS_NPMACHINE_H

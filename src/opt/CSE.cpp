@@ -1,0 +1,104 @@
+//===- opt/CSE.cpp - Common subexpression elimination ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// CSE (§2.5, §7.2): replaces
+///
+///  * a non-atomic load `r := x.na` with `r := r0` when the availability
+///    analysis proves r0 == x (no acquire read / CAS / call / na store of
+///    x since r0 got x's value), and
+///  * a register computation `r := e` with `r := r0` when r0 == e.
+///
+/// Replacing a load with a register copy *eliminates a redundant read* —
+/// sound in PS even with read-write races (§2.5): the source's duplicate
+/// read could have returned the first read's value, so the target's
+/// behaviors are a subset.
+///
+/// The unsafe variant keeps load equations across acquire reads (Fig 1's
+/// mistake) and is refuted by the refinement checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AvailLoads.h"
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumLoadsCSEd("cse", "loads", "na loads replaced by copies");
+static Statistic NumExprsCSEd("cse", "exprs", "computations replaced");
+
+namespace {
+
+class CSEPass : public Pass {
+public:
+  explicit CSEPass(bool AcquireBarrier) : AcquireBarrier(AcquireBarrier) {}
+
+  const char *name() const override {
+    return AcquireBarrier ? "cse" : "cse-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      runOnFunction(Out, F, P);
+    return Out;
+  }
+
+private:
+  void runOnFunction(const Program &OutP, Function &F,
+                     const Program &P) const {
+    (void)OutP;
+    Function Analyzed = F;
+    if (!AcquireBarrier) {
+      // Demote acquire reads to relaxed for the analysis only: load
+      // equations then survive the synchronization point — the Fig 1 bug.
+      for (auto &[L, B] : Analyzed.blocks())
+        for (Instr &I : B.instructions())
+          if (I.isLoad() && I.readMode() == ReadMode::ACQ)
+            I = Instr::makeLoad(I.dest(), I.var(), ReadMode::RLX);
+    }
+    Cfg G = Cfg::build(Analyzed);
+    AvailResult AR = analyzeAvailLoads(P, Analyzed, G);
+
+    for (BlockLabel L : G.rpo()) {
+      BasicBlock &B = F.block(L);
+      const std::vector<AvailFact> &Facts = AR.BeforeInstr.at(L);
+      for (std::size_t I = 0; I < B.size(); ++I) {
+        Instr &In = B.instructions()[I];
+        if (In.isLoad() && In.readMode() == ReadMode::NA &&
+            !P.isAtomic(In.var())) {
+          if (auto R0 = Facts[I].regForVar(In.var())) {
+            if (!(*R0 == In.dest())) {
+              In = Instr::makeAssign(In.dest(), Expr::makeReg(*R0));
+              ++NumLoadsCSEd;
+            }
+          }
+          continue;
+        }
+        if (In.isAssign() && In.expr()->isBin()) {
+          if (auto R0 = Facts[I].regForExpr(In.expr())) {
+            if (!(*R0 == In.dest())) {
+              In = Instr::makeAssign(In.dest(), Expr::makeReg(*R0));
+              ++NumExprsCSEd;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool AcquireBarrier;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createCSE() { return std::make_unique<CSEPass>(true); }
+
+std::unique_ptr<Pass> createUnsafeCSE() {
+  return std::make_unique<CSEPass>(false);
+}
+
+} // namespace psopt

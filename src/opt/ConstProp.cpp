@@ -1,0 +1,107 @@
+//===- opt/ConstProp.cpp - Constant propagation --------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// ConstProp (§7.2): rewrites expressions using the register constant
+/// analysis and folds constant branch conditions into unconditional jumps.
+/// Memory accesses keep their shape and modes (trace-preserving on memory,
+/// which is why the paper can verify it with the identity invariant Iid).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstAnalysis.h"
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumFolded("constprop", "folded", "expressions simplified");
+static Statistic NumBranchesFolded("constprop", "branches",
+                                   "branches turned into jumps");
+
+namespace {
+
+ExprRef foldWith(const ExprRef &E, const ConstFact &Fact, bool &Changed) {
+  ExprRef F = Expr::fold(E, [&](RegId R) { return Fact.get(R); });
+  if (!Expr::equal(F, E)) {
+    Changed = true;
+    ++NumFolded;
+  }
+  return F;
+}
+
+class ConstPropPass : public Pass {
+public:
+  const char *name() const override { return "constprop"; }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      runOnFunction(F);
+    return Out;
+  }
+
+private:
+  static void runOnFunction(Function &F) {
+    Cfg G = Cfg::build(F);
+    ConstResult CR = analyzeConstants(F, G);
+
+    for (BlockLabel L : G.rpo()) {
+      BasicBlock &B = F.block(L);
+      const std::vector<ConstFact> &Facts = CR.BeforeInstr.at(L);
+      for (std::size_t I = 0; I < B.size(); ++I) {
+        Instr &In = B.instructions()[I];
+        const ConstFact &Fact = Facts[I];
+        bool Changed = false;
+        switch (In.kind()) {
+        case Instr::Kind::Assign:
+          In = Instr::makeAssign(In.dest(), foldWith(In.expr(), Fact, Changed));
+          break;
+        case Instr::Kind::Store:
+          In = Instr::makeStore(In.var(), foldWith(In.expr(), Fact, Changed),
+                                In.writeMode());
+          break;
+        case Instr::Kind::Print:
+          In = Instr::makePrint(foldWith(In.expr(), Fact, Changed));
+          break;
+        case Instr::Kind::Cas:
+          In = Instr::makeCas(In.dest(), In.var(),
+                              foldWith(In.casExpected(), Fact, Changed),
+                              foldWith(In.casDesired(), Fact, Changed),
+                              In.readMode(), In.writeMode());
+          break;
+        case Instr::Kind::Load:
+        case Instr::Kind::Skip:
+          break;
+        }
+      }
+
+      // Fold constant branches. The condition is evaluated with the fact
+      // before the terminator.
+      const Terminator &T = B.terminator();
+      if (T.isBe()) {
+        const ConstFact &Fact = CR.BeforeTerm.at(L);
+        bool Changed = false;
+        ExprRef C = foldWith(T.cond(), Fact, Changed);
+        if (auto V = C->evalConst()) {
+          B.setTerminator(
+              Terminator::makeJmp(*V != 0 ? T.thenTarget() : T.elseTarget()));
+          ++NumBranchesFolded;
+        } else if (Changed) {
+          B.setTerminator(Terminator::makeBe(C, T.thenTarget(),
+                                             T.elseTarget()));
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createConstProp() {
+  return std::make_unique<ConstPropPass>();
+}
+
+} // namespace psopt

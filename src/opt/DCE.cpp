@@ -1,0 +1,122 @@
+//===- opt/DCE.cpp - Dead code elimination --------------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DCE (§7.1): DCE(πs, ι) ≜ Translate_rdce(πs, Lv_Analyzer(πs)). An
+/// instruction is replaced by skip when its destination is dead after it:
+///
+///  * `x.na := e`  with x ∉ L_nl after — a dead non-atomic store. The
+///    release rule inside Lv_Analyzer guarantees no store is considered
+///    dead across a later release write (Fig 15).
+///  * `r := e`     with r dead — a dead register computation.
+///  * `r := x.na`  with r dead — a dead non-atomic load. Removing it is
+///    sound: the load's only other effect is raising Trlx(x), and for a
+///    non-atomic location that bound constrains (a) later rlx/acq reads of
+///    x — impossible under mode discipline — and (b) placements of later
+///    writes to x, which under ww-RF are above every foreign message
+///    anyway. (This is where Def 6.4's ww-RF(Ps) assumption earns its keep.)
+///
+/// Atomic accesses, CAS and print are never eliminated.
+///
+/// The unsafe variant (createUnsafeDCE) skips the release rule — it
+/// reproduces the red liveness annotation of Fig 15 and is refuted by the
+/// refinement checker in tests/opt/DCETest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumDeadStores("dce", "dead_stores", "na stores eliminated");
+static Statistic NumDeadAssigns("dce", "dead_assigns",
+                                "register computations eliminated");
+static Statistic NumDeadLoads("dce", "dead_loads", "na loads eliminated");
+
+namespace {
+
+/// Liveness-based DCE. When \p ApplyReleaseRule is false the analysis is
+/// run with an (unsound) transfer that treats release writes like relaxed
+/// ones.
+class DCEPass : public Pass {
+public:
+  explicit DCEPass(bool ApplyReleaseRule) : ReleaseRule(ApplyReleaseRule) {}
+
+  const char *name() const override {
+    return ReleaseRule ? "dce" : "dce-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    LiveUniverse U = LiveUniverse::of(P);
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      runOnFunction(P, F, U);
+    return Out;
+  }
+
+private:
+  void runOnFunction(const Program &P, Function &F,
+                     const LiveUniverse &U) const {
+    Function Analyzed = F;
+    if (!ReleaseRule) {
+      // Demote release writes to relaxed *for the analysis only*, turning
+      // off the release rule — exactly the incorrect Lv_Analyzer of Fig 15.
+      for (auto &[L, B] : Analyzed.blocks())
+        for (Instr &I : B.instructions())
+          if (I.isStore() && I.writeMode() == WriteMode::REL)
+            I = Instr::makeStore(I.var(), I.expr(), WriteMode::RLX);
+    }
+    Cfg G = Cfg::build(Analyzed);
+    LivenessResult LR = analyzeLiveness(Analyzed, G, U);
+
+    for (BlockLabel L : G.rpo()) {
+      BasicBlock &B = F.block(L);
+      const std::vector<LiveSet> &After = LR.AfterInstr.at(L);
+      for (std::size_t I = 0; I < B.size(); ++I) {
+        Instr &In = B.instructions()[I];
+        switch (In.kind()) {
+        case Instr::Kind::Store:
+          if (In.writeMode() == WriteMode::NA && !P.isAtomic(In.var()) &&
+              !After[I].isVarLive(In.var())) {
+            In = Instr::makeSkip();
+            ++NumDeadStores;
+          }
+          break;
+        case Instr::Kind::Assign:
+          if (!After[I].isRegLive(In.dest())) {
+            In = Instr::makeSkip();
+            ++NumDeadAssigns;
+          }
+          break;
+        case Instr::Kind::Load:
+          if (In.readMode() == ReadMode::NA && !P.isAtomic(In.var()) &&
+              !After[I].isRegLive(In.dest())) {
+            In = Instr::makeSkip();
+            ++NumDeadLoads;
+          }
+          break;
+        case Instr::Kind::Cas:
+        case Instr::Kind::Skip:
+        case Instr::Kind::Print:
+          break;
+        }
+      }
+    }
+  }
+
+  bool ReleaseRule;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createDCE() { return std::make_unique<DCEPass>(true); }
+
+std::unique_ptr<Pass> createUnsafeDCE() {
+  return std::make_unique<DCEPass>(false);
+}
+
+} // namespace psopt

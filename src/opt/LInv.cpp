@@ -1,0 +1,165 @@
+//===- opt/LInv.cpp - Loop-invariant read introduction ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// LInv (§2.5, Fig 5(a)): for each natural loop, finds loop-invariant
+/// non-atomic loads `r := x.na` and introduces a *redundant read* of x into
+/// a fresh register in a new preheader block. LInv itself does not touch
+/// the loop body — the subsequent CSE pass (LICM ≜ CSE ∘ LInv) rewrites
+/// the body loads into register copies.
+///
+/// Hoisting conditions (§7: LICM may cross a relaxed read/write or a
+/// release write, but not an acquire read):
+///
+///  * no acquire read, no CAS, and no call anywhere in the loop body
+///    (these would kill the introduced equation — and crossing an acquire
+///    is the unsound Fig 1 transformation);
+///  * no na store to x inside the loop (x is invariant);
+///  * speculation is fine: the loop may run zero iterations, since
+///    introducing a redundant read is sound in PS even when it adds a
+///    read-write race (§2.5, Fig 5(b)).
+///
+/// The unsafe variant drops the acquire restriction, reproducing Fig 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+
+namespace psopt {
+
+static Statistic NumHoisted("linv", "hoisted", "invariant reads introduced");
+
+namespace {
+
+class LInvPass : public Pass {
+public:
+  explicit LInvPass(bool AcquireBarrier) : AcquireBarrier(AcquireBarrier) {}
+
+  const char *name() const override {
+    return AcquireBarrier ? "linv" : "linv-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      runOnFunction(Out, F);
+    return Out;
+  }
+
+private:
+  void runOnFunction(const Program &P, Function &F) const {
+    // Preheader insertion invalidates the CFG; process one loop at a time
+    // and re-analyze, bounding the rounds by the initial loop count.
+    Cfg G0 = Cfg::build(F);
+    Dominators D0 = Dominators::compute(G0);
+    std::size_t MaxRounds = findNaturalLoops(F, G0, D0).size();
+    std::set<BlockLabel> DoneHeaders;
+
+    for (std::size_t Round = 0; Round < MaxRounds; ++Round) {
+      Cfg G = Cfg::build(F);
+      Dominators D = Dominators::compute(G);
+      bool Transformed = false;
+      for (const Loop &L : findNaturalLoops(F, G, D)) {
+        if (DoneHeaders.count(L.Header))
+          continue;
+        DoneHeaders.insert(L.Header);
+        if (hoistLoop(P, F, G, L))
+          Transformed = true;
+        break; // CFG changed (or header consumed); rebuild.
+      }
+      if (!Transformed && DoneHeaders.size() >= MaxRounds)
+        break;
+    }
+  }
+
+  bool hoistLoop(const Program &P, Function &F, const Cfg &G,
+                 const Loop &L) const {
+    // Gather loop properties.
+    std::set<VarId> StoredNa;
+    std::vector<VarId> Candidates;
+    for (BlockLabel BL : L.Body) {
+      const BasicBlock &B = F.block(BL);
+      for (const Instr &I : B.instructions()) {
+        if (I.isCas())
+          return false; // CAS may synchronize: barrier.
+        if (I.isLoad() && I.readMode() == ReadMode::ACQ && AcquireBarrier)
+          return false; // The Fig 1 restriction.
+        if (I.isStore() && I.writeMode() == WriteMode::NA)
+          StoredNa.insert(I.var());
+      }
+      if (B.terminator().isCall())
+        return false; // Callee may synchronize.
+    }
+    for (BlockLabel BL : L.Body) {
+      for (const Instr &I : F.block(BL).instructions()) {
+        if (I.isLoad() && I.readMode() == ReadMode::NA &&
+            !P.isAtomic(I.var()) && !StoredNa.count(I.var()) &&
+            std::find(Candidates.begin(), Candidates.end(), I.var()) ==
+                Candidates.end())
+          Candidates.push_back(I.var());
+      }
+    }
+    if (Candidates.empty())
+      return false;
+
+    // Build the preheader: one fresh-register read per invariant location,
+    // then fall through to the header.
+    std::vector<Instr> PreInstrs;
+    for (VarId X : Candidates) {
+      PreInstrs.push_back(
+          Instr::makeLoad(RegId::fresh("linv"), X, ReadMode::NA));
+      ++NumHoisted;
+    }
+    BlockLabel Pre = F.freshLabel();
+    F.setBlock(Pre, BasicBlock(std::move(PreInstrs),
+                               Terminator::makeJmp(L.Header)));
+
+    // Redirect the loop entries (non-back-edge predecessors of the header)
+    // to the preheader.
+    for (BlockLabel E : L.Entries) {
+      BasicBlock &B = F.block(E);
+      const Terminator &T = B.terminator();
+      auto Redirect = [&](BlockLabel Tgt) {
+        return Tgt == L.Header ? Pre : Tgt;
+      };
+      switch (T.kind()) {
+      case Terminator::Kind::Jmp:
+        B.setTerminator(Terminator::makeJmp(Redirect(T.target())));
+        break;
+      case Terminator::Kind::Be:
+        B.setTerminator(Terminator::makeBe(T.cond(),
+                                           Redirect(T.thenTarget()),
+                                           Redirect(T.elseTarget())));
+        break;
+      case Terminator::Kind::Call:
+        B.setTerminator(
+            Terminator::makeCall(T.callee(), Redirect(T.target())));
+        break;
+      case Terminator::Kind::Ret:
+        break;
+      }
+    }
+    if (F.entry() == L.Header)
+      F.setEntry(Pre);
+    (void)G;
+    return true;
+  }
+
+  bool AcquireBarrier;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createLInv() { return std::make_unique<LInvPass>(true); }
+
+std::unique_ptr<Pass> createUnsafeLInv() {
+  return std::make_unique<LInvPass>(false);
+}
+
+} // namespace psopt

@@ -1,0 +1,34 @@
+//===- opt/Pass.cpp - Optimization pass composition ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+namespace psopt {
+
+std::unique_ptr<Pass> createLICM() {
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createLInv());
+  Ps.push_back(createCSE());
+  return std::make_unique<PassPipeline>("licm", std::move(Ps));
+}
+
+std::unique_ptr<Pass> createUnsafeLICM() {
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createUnsafeLInv());
+  Ps.push_back(createUnsafeCSE());
+  return std::make_unique<PassPipeline>("licm-unsafe", std::move(Ps));
+}
+
+std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses() {
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createConstProp());
+  Ps.push_back(createDCE());
+  Ps.push_back(createCSE());
+  Ps.push_back(createLICM());
+  return Ps;
+}
+
+} // namespace psopt

@@ -1,0 +1,104 @@
+//===- opt/Pass.h - Optimization pass interface -----------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer interface of §6.3: Opt takes the source code π and the
+/// atomic set ι (bundled in a Program) and returns the target code with the
+/// same ι and thread list. Verified optimizers never touch atomic accesses
+/// (§1: "we focus on optimizations on non-atomic accesses").
+///
+/// Passes compose vertically (§2.5: LICM ≜ LInv ∘ CSE); the paper's
+/// Lm 6.2 justifies composition because each verified pass preserves
+/// write-write race freedom — checked empirically in tests/opt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_OPT_PASS_H
+#define PSOPT_OPT_PASS_H
+
+#include "lang/Program.h"
+
+#include <memory>
+#include <vector>
+
+namespace psopt {
+
+/// One optimization pass.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// The pass name ("constprop", "dce", ...).
+  virtual const char *name() const = 0;
+
+  /// Transforms a whole program: every function of π is optimized; ι and
+  /// the thread list are returned unchanged.
+  virtual Program run(const Program &P) const = 0;
+};
+
+/// Creates the constant propagation pass (ConstProp, §7.2).
+std::unique_ptr<Pass> createConstProp();
+
+/// Creates the dead code elimination pass (DCE, §7.1).
+std::unique_ptr<Pass> createDCE();
+
+/// Creates an *incorrect* DCE variant whose liveness analysis ignores the
+/// release rule — the red annotation of Fig 15. Exists so tests and benches
+/// can demonstrate that the rule is what makes DCE sound.
+std::unique_ptr<Pass> createUnsafeDCE();
+
+/// Creates the common subexpression elimination pass (CSE, §2.5/§7.2).
+std::unique_ptr<Pass> createCSE();
+
+/// Creates an *incorrect* CSE variant that keeps load equations across
+/// acquire reads — the Fig 1 mistake.
+std::unique_ptr<Pass> createUnsafeCSE();
+
+/// Creates the loop-invariant read introduction pass (LInv, §2.5).
+std::unique_ptr<Pass> createLInv();
+
+/// Creates an *incorrect* LInv variant that hoists across acquire reads —
+/// the Fig 1 mistake, at the hoisting pass.
+std::unique_ptr<Pass> createUnsafeLInv();
+
+/// Vertical composition: runs passes in order (◦ of §2.5, rightmost name
+/// first in the constructor call, i.e. compose({A, B}) runs A then B).
+class PassPipeline : public Pass {
+public:
+  PassPipeline(std::string Name, std::vector<std::unique_ptr<Pass>> Passes)
+      : Name(std::move(Name)), Passes(std::move(Passes)) {}
+
+  const char *name() const override { return Name.c_str(); }
+
+  Program run(const Program &P) const override {
+    Program Cur = P;
+    for (const auto &Pass_ : Passes)
+      Cur = Pass_->run(Cur);
+    return Cur;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// Creates LICM ≜ CSE ∘ LInv (first LInv, then CSE — Fig 5(a)).
+std::unique_ptr<Pass> createLICM();
+
+/// Creates the trace-preserving control-flow cleanup pass: unreachable
+/// block removal, skip deletion, branch collapsing, jump threading. No
+/// memory access is touched (§7.2 category 1).
+std::unique_ptr<Pass> createSimplifyCfg();
+
+/// Creates the incorrect LICM that hoists across acquire reads (Fig 1).
+std::unique_ptr<Pass> createUnsafeLICM();
+
+/// All four verified optimizers, for parameterized test/bench sweeps.
+std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses();
+
+} // namespace psopt
+
+#endif // PSOPT_OPT_PASS_H

@@ -1,0 +1,122 @@
+//===- opt/SimplifyCfg.cpp - Control-flow cleanup ----------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A trace-preserving cleanup pass (category 1 of §7.2's classification —
+/// it changes no memory access whatsoever): removes unreachable blocks,
+/// deletes skip instructions (the residue DCE leaves behind), collapses
+/// degenerate branches `be c, L, L` into `jmp L`, and threads jumps
+/// through empty forwarding blocks. Runs after the verified optimizers to
+/// tidy their output; being trace-preserving it is correct under any
+/// invariant (the paper's simulation handles it with Iid).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumBlocksRemoved("simplifycfg", "blocks_removed",
+                                  "unreachable blocks deleted");
+static Statistic NumSkipsRemoved("simplifycfg", "skips_removed",
+                                 "skip instructions deleted");
+static Statistic NumBranchesCollapsed("simplifycfg", "branches_collapsed",
+                                      "be L,L collapsed to jmp");
+static Statistic NumJumpsThreaded("simplifycfg", "jumps_threaded",
+                                  "jumps through empty blocks threaded");
+
+namespace {
+
+class SimplifyCfgPass : public Pass {
+public:
+  const char *name() const override { return "simplifycfg"; }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      runOnFunction(F);
+    return Out;
+  }
+
+private:
+  /// The final target of \p L following empty jmp-only blocks (cycle-safe).
+  static BlockLabel ultimateTarget(const Function &F, BlockLabel L) {
+    std::set<BlockLabel> Seen;
+    while (Seen.insert(L).second) {
+      const BasicBlock &B = F.block(L);
+      if (!B.instructions().empty() || !B.terminator().isJmp())
+        return L;
+      L = B.terminator().target();
+    }
+    return L; // Jump cycle: leave as-is.
+  }
+
+  static void runOnFunction(Function &F) {
+    // 1. Drop skips and collapse degenerate branches.
+    for (auto &[L, B] : F.blocks()) {
+      auto &Instrs = B.instructions();
+      std::size_t Before = Instrs.size();
+      Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                  [](const Instr &I) { return I.isSkip(); }),
+                   Instrs.end());
+      NumSkipsRemoved += Before - Instrs.size();
+
+      const Terminator &T = B.terminator();
+      if (T.isBe() && T.thenTarget() == T.elseTarget()) {
+        B.setTerminator(Terminator::makeJmp(T.thenTarget()));
+        ++NumBranchesCollapsed;
+      }
+    }
+
+    // 2. Thread jumps through empty forwarding blocks.
+    auto Redirect = [&](BlockLabel Tgt) {
+      BlockLabel New = ultimateTarget(F, Tgt);
+      if (New != Tgt)
+        ++NumJumpsThreaded;
+      return New;
+    };
+    for (auto &[L, B] : F.blocks()) {
+      const Terminator &T = B.terminator();
+      switch (T.kind()) {
+      case Terminator::Kind::Jmp:
+        B.setTerminator(Terminator::makeJmp(Redirect(T.target())));
+        break;
+      case Terminator::Kind::Be:
+        B.setTerminator(Terminator::makeBe(T.cond(),
+                                           Redirect(T.thenTarget()),
+                                           Redirect(T.elseTarget())));
+        break;
+      case Terminator::Kind::Call:
+        B.setTerminator(Terminator::makeCall(T.callee(),
+                                             Redirect(T.target())));
+        break;
+      case Terminator::Kind::Ret:
+        break;
+      }
+    }
+    F.setEntry(ultimateTarget(F, F.entry()));
+
+    // 3. Remove unreachable blocks.
+    Cfg G = Cfg::build(F);
+    for (auto It = F.blocks().begin(); It != F.blocks().end();) {
+      if (!G.isReachable(It->first)) {
+        It = F.blocks().erase(It);
+        ++NumBlocksRemoved;
+      } else {
+        ++It;
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createSimplifyCfg() {
+  return std::make_unique<SimplifyCfgPass>();
+}
+
+} // namespace psopt

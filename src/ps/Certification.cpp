@@ -1,0 +1,90 @@
+//===- ps/Certification.cpp - Promise certification -------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/Certification.h"
+#include "ps/ThreadStep.h"
+#include "support/Hashing.h"
+#include "support/Statistic.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace psopt {
+
+static Statistic NumCertRuns("cert", "runs", "certification searches started");
+static Statistic NumCertStates("cert", "states",
+                               "states visited during certification");
+static Statistic NumCertBoundHits("cert", "bound_hits",
+                                  "certifications cut off by the bound");
+
+namespace {
+
+struct CertNode {
+  ThreadState TS;
+  Memory Mem;
+
+  bool operator==(const CertNode &O) const {
+    return TS == O.TS && Mem == O.Mem;
+  }
+};
+
+struct CertNodeHash {
+  std::size_t operator()(const CertNode &N) const {
+    std::size_t Seed = N.TS.hash();
+    hashCombine(Seed, N.Mem.hash());
+    return hashFinalize(Seed);
+  }
+};
+
+} // namespace
+
+bool consistent(const Program &P, Tid T, const ThreadState &TS,
+                const Memory &M, const StepConfig &C) {
+  if (!M.hasConcretePromises(T))
+    return true;
+
+  ++NumCertRuns;
+  Memory Capped = M.capped(T);
+
+  std::unordered_set<CertNode, CertNodeHash> Visited;
+  std::vector<CertNode> Stack;
+  Stack.push_back(CertNode{TS, std::move(Capped)});
+
+  // PRC steps inside certification: cancels only (no fresh promises or
+  // reservations — fresh reservations beyond the cap cannot help fulfil).
+  StepConfig CertCfg = C;
+  CertCfg.EnablePromises = false;
+  CertCfg.EnableReservations = false;
+  PromiseDomain EmptyDomain;
+
+  std::vector<ThreadSuccessor> Succs;
+  while (!Stack.empty()) {
+    CertNode Node = std::move(Stack.back());
+    Stack.pop_back();
+    if (!Visited.insert(Node).second)
+      continue;
+    if (Visited.size() > C.CertMaxStates) {
+      ++NumCertBoundHits;
+      return false;
+    }
+    ++NumCertStates;
+
+    if (!Node.Mem.hasConcretePromises(T))
+      return true;
+
+    Succs.clear();
+    enumerateProgramSteps(P, T, Node.TS, Node.Mem, Succs);
+    enumeratePrcSteps(P, T, Node.TS, Node.Mem, EmptyDomain, CertCfg, Succs);
+    for (ThreadSuccessor &S : Succs) {
+      if (S.Abort)
+        continue;
+      Stack.push_back(CertNode{std::move(S.TS), std::move(S.Mem)});
+    }
+  }
+  return false;
+}
+
+} // namespace psopt

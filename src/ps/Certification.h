@@ -1,0 +1,40 @@
+//===- ps/Certification.h - Promise certification ---------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promise certification (§3):
+///
+///   consistent(TS, M, ι) iff ∃TS'. ι ⊢ (TS, M̂) →* (TS', _) ∧ TS'.P = ∅
+///
+/// The thread must be able to fulfil all of its outstanding promises when
+/// run in isolation from the *capped* memory M̂ (gaps filled with unowned
+/// reservations plus a per-location cap reservation). The search is a
+/// memoized DFS over the thread's isolated executions; no new promises are
+/// made during certification, reservations may be cancelled and used.
+///
+/// The search is bounded by StepConfig::CertMaxStates; exceeding the bound
+/// reports "not consistent" (an under-approximation, reported via the
+/// statistic psopt.cert.bound_hits so suites can assert it never fired).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_CERTIFICATION_H
+#define PSOPT_PS_CERTIFICATION_H
+
+#include "ps/Config.h"
+#include "ps/Memory.h"
+#include "ps/ThreadState.h"
+
+namespace psopt {
+
+/// True iff thread \p T can certify all its promises from state (\p TS, \p M).
+/// Fast path: no concrete promises — trivially consistent.
+bool consistent(const Program &P, Tid T, const ThreadState &TS,
+                const Memory &M, const StepConfig &C);
+
+} // namespace psopt
+
+#endif // PSOPT_PS_CERTIFICATION_H

@@ -1,0 +1,163 @@
+//===- ps/Event.h - Thread and machine events -------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread events (Fig 8):
+///
+///   te ::= τ | out(v) | R(or,x,v) | W(ow,x,v) | U(or,ow,x,vr,vw)
+///        | prm | ccl | rsv
+///
+/// and their classification into the step classes of the non-preemptive
+/// semantics (Fig 10):
+///
+///   NA  = τ and non-atomic reads/writes
+///   PRC = promise / reserve / cancel
+///   AT  = everything else (atomic accesses, updates, and out(v))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_EVENT_H
+#define PSOPT_PS_EVENT_H
+
+#include "lang/Ops.h"
+#include "support/Symbol.h"
+
+#include <string>
+
+namespace psopt {
+
+/// Labeled thread step.
+struct ThreadEvent {
+  enum class Kind : std::uint8_t {
+    Tau,     ///< silent (register ops, skip, control flow)
+    Out,     ///< out(v) from print
+    Read,    ///< R(or, x, v)
+    Write,   ///< W(ow, x, v)
+    Update,  ///< U(or, ow, x, vr, vw) from a successful CAS
+    Promise, ///< prm
+    Reserve, ///< rsv
+    Cancel   ///< ccl
+  };
+
+  Kind K = Kind::Tau;
+  ReadMode RM = ReadMode::NA;
+  WriteMode WM = WriteMode::NA;
+  VarId Var;
+  Val ReadVal = 0;
+  Val WrittenVal = 0;
+  Val OutVal = 0;
+
+  static ThreadEvent tau() { return ThreadEvent{}; }
+  static ThreadEvent out(Val V) {
+    ThreadEvent E;
+    E.K = Kind::Out;
+    E.OutVal = V;
+    return E;
+  }
+  static ThreadEvent read(ReadMode M, VarId X, Val V) {
+    ThreadEvent E;
+    E.K = Kind::Read;
+    E.RM = M;
+    E.Var = X;
+    E.ReadVal = V;
+    return E;
+  }
+  static ThreadEvent write(WriteMode M, VarId X, Val V) {
+    ThreadEvent E;
+    E.K = Kind::Write;
+    E.WM = M;
+    E.Var = X;
+    E.WrittenVal = V;
+    return E;
+  }
+  static ThreadEvent update(ReadMode RM, WriteMode WM, VarId X, Val VR,
+                            Val VW) {
+    ThreadEvent E;
+    E.K = Kind::Update;
+    E.RM = RM;
+    E.WM = WM;
+    E.Var = X;
+    E.ReadVal = VR;
+    E.WrittenVal = VW;
+    return E;
+  }
+  static ThreadEvent promise(VarId X, Val V) {
+    ThreadEvent E;
+    E.K = Kind::Promise;
+    E.Var = X;
+    E.WrittenVal = V;
+    return E;
+  }
+  static ThreadEvent reserve(VarId X) {
+    ThreadEvent E;
+    E.K = Kind::Reserve;
+    E.Var = X;
+    return E;
+  }
+  static ThreadEvent cancel(VarId X) {
+    ThreadEvent E;
+    E.K = Kind::Cancel;
+    E.Var = X;
+    return E;
+  }
+
+  /// Class NA of Fig 10: τ steps, non-atomic reads, non-atomic writes.
+  bool isNA() const {
+    switch (K) {
+    case Kind::Tau:
+      return true;
+    case Kind::Read:
+      return RM == ReadMode::NA;
+    case Kind::Write:
+      return WM == WriteMode::NA;
+    default:
+      return false;
+    }
+  }
+
+  /// Class PRC of Fig 10: promise, reserve, cancel.
+  bool isPRC() const {
+    return K == Kind::Promise || K == Kind::Reserve || K == Kind::Cancel;
+  }
+
+  /// Class AT of Fig 10: neither NA nor PRC (atomic accesses, updates, and
+  /// out(v) — the paper's NA grammar does not include out).
+  bool isAT() const { return !isNA() && !isPRC(); }
+
+  bool isOut() const { return K == Kind::Out; }
+
+  std::string str() const;
+};
+
+inline std::string ThreadEvent::str() const {
+  switch (K) {
+  case Kind::Tau:
+    return "tau";
+  case Kind::Out:
+    return "out(" + std::to_string(OutVal) + ")";
+  case Kind::Read:
+    return std::string("R(") + readModeSpelling(RM) + "," + Var.str() + "," +
+           std::to_string(ReadVal) + ")";
+  case Kind::Write:
+    return std::string("W(") + writeModeSpelling(WM) + "," + Var.str() + "," +
+           std::to_string(WrittenVal) + ")";
+  case Kind::Update:
+    return std::string("U(") + readModeSpelling(RM) + "," +
+           writeModeSpelling(WM) + "," + Var.str() + "," +
+           std::to_string(ReadVal) + "," + std::to_string(WrittenVal) + ")";
+  case Kind::Promise:
+    return "prm(" + Var.str() + "," + std::to_string(WrittenVal) + ")";
+  case Kind::Reserve:
+    return "rsv(" + Var.str() + ")";
+  case Kind::Cancel:
+    return "ccl(" + Var.str() + ")";
+  }
+  return "?";
+}
+
+} // namespace psopt
+
+#endif // PSOPT_PS_EVENT_H

@@ -1,0 +1,219 @@
+//===- ps/Memory.cpp - The global message memory ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/Memory.h"
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+namespace psopt {
+
+Memory Memory::initial(const std::set<VarId> &Vars) {
+  Memory M;
+  for (VarId X : Vars)
+    M.Locs[X].push_back(Message::concrete(X, 0, Time(0), Time(0), View{}));
+  return M;
+}
+
+const std::vector<Message> &Memory::messages(VarId X) const {
+  static const std::vector<Message> Empty;
+  auto It = Locs.find(X);
+  return It == Locs.end() ? Empty : It->second;
+}
+
+std::vector<VarId> Memory::locations() const {
+  std::vector<VarId> Out;
+  Out.reserve(Locs.size());
+  for (const auto &[X, Ms] : Locs)
+    Out.push_back(X);
+  return Out;
+}
+
+std::vector<Message> &Memory::list(VarId X) { return Locs[X]; }
+
+const Message *Memory::findConcrete(VarId X, const Time &To) const {
+  const Message *M = find(X, To);
+  return M && M->isConcrete() ? M : nullptr;
+}
+
+const Message *Memory::find(VarId X, const Time &To) const {
+  for (const Message &M : messages(X))
+    if (M.To == To)
+      return &M;
+  return nullptr;
+}
+
+void Memory::insert(const Message &M) {
+  std::vector<Message> &Ms = list(M.Var);
+  // Find the first message with To >= M.To; M goes before it.
+  auto It = std::find_if(Ms.begin(), Ms.end(),
+                         [&](const Message &O) { return O.To >= M.To; });
+  // Disjointness: (f1,t1] and (f2,t2] are disjoint iff t1 <= f2 or t2 <= f1.
+  // The initial message (0,0] is the empty interval but still occupies the
+  // identifying timestamp 0, so a new To must be strictly positive.
+  PSOPT_CHECK(M.To > Time(0), "message with non-positive timestamp");
+  PSOPT_CHECK(M.From < M.To, "message with empty interval");
+  if (It != Ms.end()) {
+    PSOPT_CHECK(It->To != M.To, "duplicate message timestamp");
+    PSOPT_CHECK(M.To <= It->From, "overlapping message intervals (right)");
+  }
+  if (It != Ms.begin()) {
+    auto Prev = std::prev(It);
+    PSOPT_CHECK(Prev->To <= M.From, "overlapping message intervals (left)");
+  }
+  Ms.insert(It, M);
+}
+
+void Memory::removeReservation(VarId X, const Time &To) {
+  std::vector<Message> &Ms = list(X);
+  auto It = std::find_if(Ms.begin(), Ms.end(), [&](const Message &M) {
+    return M.To == To && M.isReservation();
+  });
+  PSOPT_CHECK(It != Ms.end(), "cancelling a missing reservation");
+  Ms.erase(It);
+}
+
+void Memory::fulfillPromise(VarId X, const Time &To, const View &NewView) {
+  std::vector<Message> &Ms = list(X);
+  auto It = std::find_if(Ms.begin(), Ms.end(), [&](const Message &M) {
+    return M.To == To && M.isConcrete() && M.IsPromise;
+  });
+  PSOPT_CHECK(It != Ms.end(), "fulfilling a missing promise");
+  It->Owner = NoTid;
+  It->IsPromise = false;
+  It->MsgView = NewView;
+}
+
+void Memory::erase(VarId X, const Time &To) {
+  std::vector<Message> &Ms = list(X);
+  auto It = std::find_if(Ms.begin(), Ms.end(),
+                         [&](const Message &M) { return M.To == To; });
+  PSOPT_CHECK(It != Ms.end(), "erasing a missing message");
+  Ms.erase(It);
+}
+
+std::vector<Placement> Memory::enumeratePlacements(VarId X,
+                                                   const Time &MinTo) const {
+  std::vector<Placement> Out;
+  const std::vector<Message> &Ms = messages(X);
+  PSOPT_CHECK(!Ms.empty(), "placement on unknown location");
+
+  // Gaps between adjacent messages. The placement's To must be > MinTo, so
+  // only the part of the gap above MinTo is usable; split it into thirds so
+  // room remains on both sides for later insertions (density preservation,
+  // see DESIGN.md §5).
+  for (std::size_t I = 0; I + 1 < Ms.size(); ++I) {
+    const Time &GapLo = Ms[I].To;
+    const Time &GapHi = Ms[I + 1].From;
+    if (!(GapLo < GapHi))
+      continue;
+    Time Lo = std::max(GapLo, MinTo);
+    if (!(Lo < GapHi))
+      continue;
+    Out.push_back(Placement{Rational::lerp(Lo, GapHi, 1, 3),
+                            Rational::lerp(Lo, GapHi, 2, 3)});
+  }
+
+  // Append past the last message, leaving a unit gap before the new From so
+  // that a CAS reading the current last message stays possible.
+  Time Base = std::max(Ms.back().To, MinTo);
+  Out.push_back(Placement{Base + Time(1), Base + Time(2)});
+  return Out;
+}
+
+std::optional<Placement> Memory::casPlacement(VarId X,
+                                              const Time &ReadTo) const {
+  const std::vector<Message> &Ms = messages(X);
+  for (std::size_t I = 0; I < Ms.size(); ++I) {
+    if (Ms[I].To != ReadTo)
+      continue;
+    if (I + 1 == Ms.size())
+      return Placement{ReadTo, ReadTo + Time(1)};
+    const Time &NextFrom = Ms[I + 1].From;
+    if (!(ReadTo < NextFrom))
+      return std::nullopt; // Adjacent message blocks the CAS interval.
+    return Placement{ReadTo, Rational::midpoint(ReadTo, NextFrom)};
+  }
+  return std::nullopt;
+}
+
+std::vector<const Message *> Memory::readable(VarId X,
+                                              const Time &MinTo) const {
+  std::vector<const Message *> Out;
+  for (const Message &M : messages(X))
+    if (M.isConcrete() && M.To >= MinTo)
+      Out.push_back(&M);
+  return Out;
+}
+
+std::vector<const Message *> Memory::promisesOf(Tid T) const {
+  std::vector<const Message *> Out;
+  for (const auto &[X, Ms] : Locs)
+    for (const Message &M : Ms)
+      if (M.Owner == T && (M.isReservation() || M.IsPromise))
+        Out.push_back(&M);
+  return Out;
+}
+
+bool Memory::hasConcretePromises(Tid T) const {
+  for (const auto &[X, Ms] : Locs)
+    for (const Message &M : Ms)
+      if (M.Owner == T && M.isConcrete() && M.IsPromise)
+        return true;
+  return false;
+}
+
+bool Memory::hasPromiseOn(Tid T, VarId X) const {
+  for (const Message &M : messages(X))
+    if (M.Owner == T && M.isConcrete() && M.IsPromise)
+      return true;
+  return false;
+}
+
+Memory Memory::capped(Tid /*ForThread*/) const {
+  // Ownership survives the copy, so the certified thread keeps its own
+  // promises and reservations; the added gap/cap reservations are unowned
+  // and can be neither cancelled nor written into.
+  Memory Out = *this;
+  for (auto &[X, Ms] : Out.Locs) {
+    std::vector<Message> Filled;
+    Filled.reserve(Ms.size() * 2 + 1);
+    for (std::size_t I = 0; I < Ms.size(); ++I) {
+      Filled.push_back(Ms[I]);
+      if (I + 1 < Ms.size() && Ms[I].To < Ms[I + 1].From)
+        Filled.push_back(
+            Message::reservation(X, Ms[I].To, Ms[I + 1].From, NoTid));
+    }
+    const Time Last = Filled.back().To;
+    Filled.push_back(Message::reservation(X, Last, Last + Time(1), NoTid));
+    Ms = std::move(Filled);
+  }
+  return Out;
+}
+
+std::size_t Memory::hash() const {
+  std::size_t Seed = 0;
+  for (const auto &[X, Ms] : Locs) {
+    hashCombineValue(Seed, X.raw());
+    for (const Message &M : Ms)
+      hashCombine(Seed, M.hash());
+  }
+  return hashFinalize(Seed);
+}
+
+std::string Memory::str() const {
+  std::string Out;
+  for (const auto &[X, Ms] : Locs) {
+    Out += X.str() + ":";
+    for (const Message &M : Ms)
+      Out += " " + M.str();
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace psopt

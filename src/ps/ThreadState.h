@@ -1,0 +1,41 @@
+//===- ps/ThreadState.h - Per-thread machine state --------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread state TS = (σ, V, P) of Fig 8. The promise set P lives inside
+/// the global memory as ownership marks (see ps/Message.h), so ThreadState
+/// bundles just σ and the view V.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_THREADSTATE_H
+#define PSOPT_PS_THREADSTATE_H
+
+#include "ps/LocalState.h"
+#include "ps/View.h"
+#include "support/Hashing.h"
+
+namespace psopt {
+
+/// TS = (σ, V); P is recovered from the memory via ownership marks.
+struct ThreadState {
+  LocalState Local;
+  View V;
+
+  bool operator==(const ThreadState &O) const {
+    return Local == O.Local && V == O.V;
+  }
+
+  std::size_t hash() const {
+    std::size_t Seed = Local.hash();
+    hashCombine(Seed, V.hash());
+    return hashFinalize(Seed);
+  }
+};
+
+} // namespace psopt
+
+#endif // PSOPT_PS_THREADSTATE_H

@@ -1,0 +1,330 @@
+//===- ps/ThreadStep.cpp - The labeled thread step relation ----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/ThreadStep.h"
+#include "support/Debug.h"
+
+namespace psopt {
+
+namespace {
+
+/// Shared context for building successors of one (thread, state, memory).
+struct StepBuilder {
+  const Program &P;
+  Tid T;
+  const ThreadState &TS;
+  const Memory &M;
+  std::vector<ThreadSuccessor> &Out;
+
+  void abortStep() {
+    ThreadSuccessor S;
+    S.Ev = ThreadEvent::tau();
+    S.TS = TS;
+    S.Mem = M;
+    S.Abort = true;
+    Out.push_back(std::move(S));
+  }
+
+  /// Emits a successor that advanced σ past the current instruction.
+  void emitAdvanced(ThreadEvent Ev, View NewV, Memory NewM) {
+    ThreadSuccessor S;
+    S.Ev = std::move(Ev);
+    S.TS.Local = TS.Local;
+    S.TS.Local.advance();
+    S.TS.V = std::move(NewV);
+    S.Mem = std::move(NewM);
+    Out.push_back(std::move(S));
+  }
+
+  // --- instruction semantics ----------------------------------------------
+
+  void load(const Instr &I) {
+    VarId X = I.var();
+    ReadMode RM = I.readMode();
+    bool Atomic = P.isAtomic(X);
+    if (Atomic == (RM == ReadMode::NA)) {
+      abortStep();
+      return;
+    }
+    // The read bound: Tna for na reads, Trlx for rlx/acq (§3).
+    const Time Bound =
+        RM == ReadMode::NA ? TS.V.Na.get(X) : TS.V.Rlx.get(X);
+    for (const Message *Msg : M.readable(X, Bound)) {
+      View NewV = TS.V;
+      // na reads record the timestamp on Trlx only; rlx/acq record it on
+      // both maps; acq additionally joins the message view (§3).
+      NewV.Rlx.joinAt(X, Msg->To);
+      if (RM != ReadMode::NA)
+        NewV.Na.joinAt(X, Msg->To);
+      if (RM == ReadMode::ACQ)
+        NewV.join(Msg->MsgView);
+      ThreadSuccessor S;
+      S.Ev = ThreadEvent::read(RM, X, Msg->Value);
+      S.TS.Local = TS.Local;
+      S.TS.Local.regs().set(I.dest(), Msg->Value);
+      S.TS.Local.advance();
+      S.TS.V = std::move(NewV);
+      S.Mem = M;
+      Out.push_back(std::move(S));
+    }
+  }
+
+  void store(const Instr &I) {
+    VarId X = I.var();
+    WriteMode WM = I.writeMode();
+    bool Atomic = P.isAtomic(X);
+    if (Atomic == (WM == WriteMode::NA)) {
+      abortStep();
+      return;
+    }
+    Val V = I.expr()->eval(TS.Local.regs());
+
+    // A release write requires the thread to hold no unfulfilled promise on
+    // the location (PS: release writes cannot run ahead of own promises).
+    if (WM == WriteMode::REL && M.hasPromiseOn(T, X))
+      return;
+
+    // (a) Fresh message at each canonical placement.
+    for (const Placement &Pl : M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+      View NewV = TS.V;
+      NewV.Na.joinAt(X, Pl.To);
+      NewV.Rlx.joinAt(X, Pl.To);
+      // Release writes carry the (updated) thread view as the message view;
+      // na/rlx messages carry V⊥ (§3).
+      View MsgView = WM == WriteMode::REL ? NewV : View{};
+      Memory NewM = M;
+      NewM.insert(Message::concrete(X, V, Pl.From, Pl.To, std::move(MsgView)));
+      emitAdvanced(ThreadEvent::write(WM, X, V), std::move(NewV),
+                   std::move(NewM));
+    }
+
+    // (b) Fulfil one of the thread's own promises with a matching value.
+    // Release writes always create fresh messages (promises are na/rlx).
+    if (WM != WriteMode::REL) {
+      for (const Message *Prm : M.promisesOf(T)) {
+        if (!Prm->isConcrete() || Prm->Var != X || Prm->Value != V)
+          continue;
+        if (!(Prm->To > TS.V.Rlx.get(X)))
+          continue;
+        View NewV = TS.V;
+        NewV.Na.joinAt(X, Prm->To);
+        NewV.Rlx.joinAt(X, Prm->To);
+        Memory NewM = M;
+        NewM.fulfillPromise(X, Prm->To, View{});
+        emitAdvanced(ThreadEvent::write(WM, X, V), std::move(NewV),
+                     std::move(NewM));
+      }
+    }
+  }
+
+  void cas(const Instr &I) {
+    VarId X = I.var();
+    ReadMode RM = I.readMode();
+    WriteMode WM = I.writeMode();
+    if (!P.isAtomic(X) || RM == ReadMode::NA || WM == WriteMode::NA) {
+      abortStep();
+      return;
+    }
+    Val Expected = I.casExpected()->eval(TS.Local.regs());
+    Val Desired = I.casDesired()->eval(TS.Local.regs());
+
+    for (const Message *Msg : M.readable(X, TS.V.Rlx.get(X))) {
+      if (Msg->Value != Expected) {
+        // Failed CAS behaves as a plain read of the chosen message; the
+        // result register is set to 0.
+        View NewV = TS.V;
+        NewV.Na.joinAt(X, Msg->To);
+        NewV.Rlx.joinAt(X, Msg->To);
+        if (RM == ReadMode::ACQ)
+          NewV.join(Msg->MsgView);
+        ThreadSuccessor S;
+        S.Ev = ThreadEvent::read(RM, X, Msg->Value);
+        S.TS.Local = TS.Local;
+        S.TS.Local.regs().set(I.dest(), 0);
+        S.TS.Local.advance();
+        S.TS.V = std::move(NewV);
+        S.Mem = M;
+        Out.push_back(std::move(S));
+        continue;
+      }
+      // Successful CAS: the new interval's From is forced to the read
+      // message's To (§3) — this is what makes two competing CAS exclusive.
+      std::optional<Placement> Pl = M.casPlacement(X, Msg->To);
+      if (!Pl)
+        continue;
+      if (WM == WriteMode::REL && M.hasPromiseOn(T, X))
+        continue;
+      View NewV = TS.V;
+      // Read part.
+      NewV.Na.joinAt(X, Msg->To);
+      NewV.Rlx.joinAt(X, Msg->To);
+      if (RM == ReadMode::ACQ)
+        NewV.join(Msg->MsgView);
+      // Write part.
+      NewV.Na.joinAt(X, Pl->To);
+      NewV.Rlx.joinAt(X, Pl->To);
+      View MsgView = WM == WriteMode::REL ? NewV : View{};
+      Memory NewM = M;
+      NewM.insert(
+          Message::concrete(X, Desired, Pl->From, Pl->To, std::move(MsgView)));
+      ThreadSuccessor S;
+      S.Ev = ThreadEvent::update(RM, WM, X, Msg->Value, Desired);
+      S.TS.Local = TS.Local;
+      S.TS.Local.regs().set(I.dest(), 1);
+      S.TS.Local.advance();
+      S.TS.V = std::move(NewV);
+      S.Mem = std::move(NewM);
+      Out.push_back(std::move(S));
+    }
+  }
+};
+
+} // namespace
+
+void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
+                           const Memory &M,
+                           std::vector<ThreadSuccessor> &Out) {
+  if (TS.Local.isTerminated())
+    return;
+
+  StepBuilder B{P, T, TS, M, Out};
+  const Instr *I = TS.Local.currentInstr(P);
+
+  if (!I) {
+    // Terminator: a silent control step.
+    ThreadSuccessor S;
+    S.Ev = ThreadEvent::tau();
+    S.TS = TS;
+    S.Mem = M;
+    if (!S.TS.Local.applyTerminator(P)) {
+      S.Abort = true;
+      S.TS = TS;
+    }
+    Out.push_back(std::move(S));
+    return;
+  }
+
+  switch (I->kind()) {
+  case Instr::Kind::Skip: {
+    View V = TS.V;
+    B.emitAdvanced(ThreadEvent::tau(), std::move(V), Memory(M));
+    return;
+  }
+  case Instr::Kind::Assign: {
+    ThreadSuccessor S;
+    S.Ev = ThreadEvent::tau();
+    S.TS.Local = TS.Local;
+    S.TS.Local.regs().set(I->dest(), I->expr()->eval(TS.Local.regs()));
+    S.TS.Local.advance();
+    S.TS.V = TS.V;
+    S.Mem = M;
+    Out.push_back(std::move(S));
+    return;
+  }
+  case Instr::Kind::Print: {
+    View V = TS.V;
+    B.emitAdvanced(ThreadEvent::out(I->expr()->eval(TS.Local.regs())),
+                   std::move(V), Memory(M));
+    return;
+  }
+  case Instr::Kind::Load:
+    B.load(*I);
+    return;
+  case Instr::Kind::Store:
+    B.store(*I);
+    return;
+  case Instr::Kind::Cas:
+    B.cas(*I);
+    return;
+  }
+  PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
+                       const Memory &M, const PromiseDomain &D,
+                       const StepConfig &C,
+                       std::vector<ThreadSuccessor> &Out) {
+  if (TS.Local.isTerminated())
+    return;
+
+  unsigned Promises = 0, Reservations = 0;
+  for (const Message *Msg : M.promisesOf(T)) {
+    if (Msg->isConcrete())
+      ++Promises;
+    else
+      ++Reservations;
+  }
+
+  // Promise steps: only na/rlx writes can be promised (§3); the domain D
+  // already restricts to na/rlx store targets.
+  if (C.EnablePromises && Promises < C.MaxOutstandingPromises) {
+    for (VarId X : D.Vars) {
+      for (Val V : D.Values) {
+        for (const Placement &Pl :
+             M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+          Message Msg = Message::concrete(X, V, Pl.From, Pl.To, View{});
+          Msg.Owner = T;
+          Msg.IsPromise = true;
+          ThreadSuccessor S;
+          S.Ev = ThreadEvent::promise(X, V);
+          S.TS = TS;
+          S.Mem = M;
+          S.Mem.insert(Msg);
+          Out.push_back(std::move(S));
+        }
+      }
+    }
+  }
+
+  if (C.EnableReservations && Reservations < C.MaxOutstandingReservations) {
+    for (VarId X : M.locations()) {
+      for (const Placement &Pl : M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+        ThreadSuccessor S;
+        S.Ev = ThreadEvent::reserve(X);
+        S.TS = TS;
+        S.Mem = M;
+        S.Mem.insert(Message::reservation(X, Pl.From, Pl.To, T));
+        Out.push_back(std::move(S));
+      }
+    }
+  }
+
+  // Cancel steps are always allowed for own reservations.
+  for (const Message *Msg : M.promisesOf(T)) {
+    if (!Msg->isReservation())
+      continue;
+    ThreadSuccessor S;
+    S.Ev = ThreadEvent::cancel(Msg->Var);
+    S.TS = TS;
+    S.Mem = M;
+    S.Mem.removeReservation(Msg->Var, Msg->To);
+    Out.push_back(std::move(S));
+  }
+}
+
+PromiseDomain computePromiseDomain(const Program &P, FuncId F) {
+  PromiseDomain D;
+  D.Values.insert(0);
+  // Transitive closure over the call graph.
+  std::set<FuncId> Seen;
+  std::vector<FuncId> Work{F};
+  while (!Work.empty()) {
+    FuncId Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second || !P.hasFunction(Cur))
+      continue;
+    for (VarId X : P.promisableVars(Cur))
+      D.Vars.insert(X);
+    for (Val V : P.storeConstants(Cur))
+      D.Values.insert(V);
+    for (const auto &[L, B] : P.function(Cur).blocks())
+      if (B.terminator().isCall())
+        Work.push_back(B.terminator().callee());
+  }
+  return D;
+}
+
+} // namespace psopt

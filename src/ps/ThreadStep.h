@@ -1,0 +1,61 @@
+//===- ps/ThreadStep.h - The labeled thread step relation -------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread step relation ι ⊢ (TS, M) --te--> (TS', M') of PS2.1 (§3),
+/// implemented as successor *enumeration*: given a thread's state and the
+/// memory, produce every canonical successor together with its event label.
+///
+/// Two entry points mirror Fig 10's step classes:
+///  * enumerateProgramSteps — instruction and terminator execution
+///    (classes NA and AT);
+///  * enumeratePrcSteps — promise / reserve / cancel steps (class PRC),
+///    bounded by a StepConfig and a PromiseDomain.
+///
+/// Dynamic mode violations (the validator's rules broken at run time)
+/// produce successors flagged Abort, which machines turn into the abort
+/// behavior (§3: B may end with abort; Safe(P) = abort unreachable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_THREADSTEP_H
+#define PSOPT_PS_THREADSTEP_H
+
+#include "ps/Config.h"
+#include "ps/Event.h"
+#include "ps/Memory.h"
+#include "ps/ThreadState.h"
+
+#include <vector>
+
+namespace psopt {
+
+/// One enumerated successor of a thread step.
+struct ThreadSuccessor {
+  ThreadEvent Ev;
+  ThreadState TS;
+  Memory Mem;
+  bool Abort = false;
+};
+
+/// Enumerates all instruction/terminator steps of thread \p T.
+/// Terminated threads have no steps.
+void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
+                           const Memory &M, std::vector<ThreadSuccessor> &Out);
+
+/// Enumerates promise/reserve/cancel steps of thread \p T under the given
+/// bounds. Terminated threads have no PRC steps (they could never fulfil).
+void enumeratePrcSteps(const Program &P, Tid T, const ThreadState &TS,
+                       const Memory &M, const PromiseDomain &D,
+                       const StepConfig &C, std::vector<ThreadSuccessor> &Out);
+
+/// Computes the promise domain of thread entry \p F: na/rlx store targets
+/// and store constants of every function reachable from \p F through calls.
+PromiseDomain computePromiseDomain(const Program &P, FuncId F);
+
+} // namespace psopt
+
+#endif // PSOPT_PS_THREADSTEP_H

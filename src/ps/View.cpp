@@ -1,0 +1,50 @@
+//===- ps/View.cpp - Timestamps, time maps and thread views ---------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/View.h"
+#include "support/Hashing.h"
+
+namespace psopt {
+
+bool TimeMap::leq(const TimeMap &O) const {
+  for (const auto &[X, T] : Entries)
+    if (T > O.get(X))
+      return false;
+  return true;
+}
+
+std::size_t TimeMap::hash() const {
+  std::size_t Seed = 0;
+  for (const auto &[X, T] : Entries) {
+    hashCombineValue(Seed, X.raw());
+    hashCombine(Seed, T.hash());
+  }
+  return Seed;
+}
+
+std::string TimeMap::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[X, T] : Entries) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += X.str() + "@" + T.str();
+  }
+  return Out + "}";
+}
+
+std::size_t View::hash() const {
+  std::size_t Seed = Na.hash();
+  hashCombine(Seed, Rlx.hash());
+  return hashFinalize(Seed);
+}
+
+std::string View::str() const {
+  return "(na=" + Na.str() + ", rlx=" + Rlx.str() + ")";
+}
+
+} // namespace psopt

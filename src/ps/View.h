@@ -1,0 +1,102 @@
+//===- ps/View.h - Timestamps, time maps and thread views -------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timestamp domain and thread views of PS2.1 (Fig 8):
+///
+///   Time ∈ Q        TimeMap ∈ Var → Time        View ::= (Tna, Trlx)
+///
+/// A thread's view records, per variable, the most recent write it has
+/// observed; Tna bounds non-atomic reads and Trlx bounds relaxed/acquire
+/// reads. Views are joined pointwise (⊔). TimeMaps are sparse: absent
+/// entries are 0 (the initial timestamp), and zero entries are erased so
+/// that equality/hashing coincide with the semantic total map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_VIEW_H
+#define PSOPT_PS_VIEW_H
+
+#include "support/Rational.h"
+#include "support/Symbol.h"
+
+#include <map>
+#include <string>
+
+namespace psopt {
+
+/// A timestamp (Time ∈ Q).
+using Time = Rational;
+
+/// Sparse map Var → Time defaulting to 0.
+class TimeMap {
+public:
+  /// Reads the timestamp for \p X (0 if absent).
+  Time get(VarId X) const {
+    auto It = Entries.find(X);
+    return It == Entries.end() ? Time(0) : It->second;
+  }
+
+  /// Sets the timestamp for \p X, keeping the representation sparse.
+  void set(VarId X, const Time &T) {
+    if (T == Time(0))
+      Entries.erase(X);
+    else
+      Entries[X] = T;
+  }
+
+  /// Joins with the entry (\p X, \p T): pointwise maximum.
+  void joinAt(VarId X, const Time &T) {
+    if (T > get(X))
+      set(X, T);
+  }
+
+  /// Pointwise maximum with \p O.
+  void join(const TimeMap &O) {
+    for (const auto &[X, T] : O.Entries)
+      joinAt(X, T);
+  }
+
+  /// True if this ≤ O pointwise.
+  bool leq(const TimeMap &O) const;
+
+  /// The non-zero entries (sorted by variable id).
+  const std::map<VarId, Time> &entries() const { return Entries; }
+
+  bool operator==(const TimeMap &O) const { return Entries == O.Entries; }
+
+  std::size_t hash() const;
+  std::string str() const;
+
+private:
+  std::map<VarId, Time> Entries;
+};
+
+/// A thread view V = (Tna, Trlx). Invariant (established by the step
+/// relation): Tna ≤ Trlx pointwise.
+class View {
+public:
+  TimeMap Na;
+  TimeMap Rlx;
+
+  /// Pointwise join (V1 ⊔ V2).
+  void join(const View &O) {
+    Na.join(O.Na);
+    Rlx.join(O.Rlx);
+  }
+
+  bool operator==(const View &O) const { return Na == O.Na && Rlx == O.Rlx; }
+
+  std::size_t hash() const;
+  std::string str() const;
+};
+
+/// The bottom view V⊥ (all zeros).
+inline View bottomView() { return View{}; }
+
+} // namespace psopt
+
+#endif // PSOPT_PS_VIEW_H

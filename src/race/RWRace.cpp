@@ -1,0 +1,42 @@
+//===- race/RWRace.cpp - Read-write race detection ----------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/RWRace.h"
+
+namespace psopt {
+
+std::optional<RaceWitness> stateHasRWRace(const Program &P,
+                                          const MachineState &S) {
+  for (Tid T = 0; T < static_cast<Tid>(S.Threads.size()); ++T) {
+    const ThreadState &TS = S.Threads[T];
+    const Instr *I = TS.Local.currentInstr(P);
+    if (!I || !I->isLoad() || I->readMode() != ReadMode::NA)
+      continue;
+    VarId X = I->var();
+    for (const Message &M : S.Mem.messages(X)) {
+      if (!M.isConcrete() || M.Owner == T)
+        continue;
+      if (TS.V.Na.get(X) < M.To && M.To > Time(0)) {
+        RaceWitness W;
+        W.Thread = T;
+        W.Var = X;
+        W.Description = "thread t" + std::to_string(T) + " is about to read " +
+                        X.str() + " non-atomically while unobserved message " +
+                        M.str() + " exists";
+        return W;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+RaceCheckResult checkRWRaceFreedom(const Program &P, const StepConfig &SC,
+                                   const RaceCheckConfig &C) {
+  InterleavingMachine M(P, SC);
+  return checkRaceFreedom(M, C, stateHasRWRace);
+}
+
+} // namespace psopt

@@ -1,0 +1,38 @@
+//===- race/RWRace.h - Read-write race detection ----------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-write races on non-atomic locations, mirroring the ww-race shape of
+/// Fig 11: a state generates a read-write race when some thread t is about
+/// to *read* a location x non-atomically (nxt(σ) = R(na, x)) while the
+/// memory contains a concrete message on x, outside t's promise set, that
+/// t has not observed under its non-atomic read bound (V.Tna(x) < m.to).
+///
+/// The paper does not need a formal rw-race definition (it deliberately
+/// *allows* rw races in sources, §2.5); this detector exists to demonstrate
+/// Fig 5(b): LInv's hoisted read introduces an rw race in the target that
+/// the source does not have.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_RACE_RWRACE_H
+#define PSOPT_RACE_RWRACE_H
+
+#include "race/WWRace.h"
+
+namespace psopt {
+
+/// Does \p S generate a read-write race?
+std::optional<RaceWitness> stateHasRWRace(const Program &P,
+                                          const MachineState &S);
+
+/// rw-race freedom over the interleaving machine.
+RaceCheckResult checkRWRaceFreedom(const Program &P, const StepConfig &SC = {},
+                                   const RaceCheckConfig &C = {});
+
+} // namespace psopt
+
+#endif // PSOPT_RACE_RWRACE_H

@@ -1,0 +1,107 @@
+//===- race/WWRace.cpp - Write-write race freedom ----------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/WWRace.h"
+#include "explore/Canonical.h"
+#include "nps/NPMachine.h"
+#include "support/Hashing.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace psopt {
+
+std::optional<RaceWitness> stateHasWWRace(const Program &P,
+                                          const MachineState &S) {
+  for (Tid T = 0; T < static_cast<Tid>(S.Threads.size()); ++T) {
+    const ThreadState &TS = S.Threads[T];
+    const Instr *I = TS.Local.currentInstr(P);
+    // nxt(σ) = W(na, x, _): the next operation is a non-atomic write.
+    if (!I || !I->isStore() || I->writeMode() != WriteMode::NA)
+      continue;
+    VarId X = I->var();
+    for (const Message &M : S.Mem.messages(X)) {
+      if (!M.isConcrete())
+        continue;
+      if (M.Owner == T)
+        continue; // m ∈ TP(t).P is excluded (Fig 11: m ∈ M \ P).
+      if (TS.V.Rlx.get(X) < M.To) {
+        RaceWitness W;
+        W.Thread = T;
+        W.Var = X;
+        W.Description = "thread t" + std::to_string(T) +
+                        " is about to write " + X.str() +
+                        " non-atomically while unobserved message " +
+                        M.str() + " exists";
+        return W;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+RaceCheckResult
+checkRaceFreedom(const Machine &M, const RaceCheckConfig &C,
+                 const std::function<std::optional<RaceWitness>(
+                     const Program &, const MachineState &)> &Predicate) {
+  RaceCheckResult R;
+  if (!M.initial())
+    return R; // No execution, no race.
+
+  MachineState Start = *M.initial();
+  canonicalizeState(Start);
+
+  // Race detection is trace-insensitive: memoize on states alone.
+  std::deque<MachineState> Work;
+
+  struct StateHash {
+    std::size_t operator()(const MachineState &S) const { return S.hash(); }
+  };
+  std::unordered_set<MachineState, StateHash> Visited;
+
+  Work.push_back(std::move(Start));
+  std::vector<MachineSuccessor> Succs;
+  while (!Work.empty()) {
+    MachineState S = std::move(Work.front());
+    Work.pop_front();
+    if (!Visited.insert(S).second)
+      continue;
+    if (Visited.size() > C.MaxNodes) {
+      R.Exact = false;
+      break;
+    }
+    ++R.StatesChecked;
+
+    if (auto W = Predicate(M.program(), S)) {
+      R.RaceFree = false;
+      R.Witness = std::move(W);
+      return R;
+    }
+
+    M.successors(S, Succs);
+    for (MachineSuccessor &MS : Succs) {
+      if (MS.Ev.K == MachineEvent::Kind::Abort)
+        continue;
+      canonicalizeState(MS.State);
+      Work.push_back(std::move(MS.State));
+    }
+  }
+  return R;
+}
+
+RaceCheckResult checkWWRaceFreedom(const Program &P, const StepConfig &SC,
+                                   const RaceCheckConfig &C) {
+  InterleavingMachine M(P, SC);
+  return checkRaceFreedom(M, C, stateHasWWRace);
+}
+
+RaceCheckResult checkWWRaceFreedomNP(const Program &P, const StepConfig &SC,
+                                     const RaceCheckConfig &C) {
+  NonPreemptiveMachine M(P, SC);
+  return checkRaceFreedom(M, C, stateHasWWRace);
+}
+
+} // namespace psopt

@@ -1,0 +1,64 @@
+//===- sim/DelayedWrites.cpp - The delayed write set D -------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DelayedWrites.h"
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+namespace psopt {
+
+void DelayedWrites::add(VarId X, const Time &TgtTo, std::uint64_t Fuel) {
+  auto [It, Inserted] = Items.emplace(std::make_pair(X, TgtTo), Fuel);
+  PSOPT_CHECK(Inserted, "delayed write tracked twice");
+}
+
+void DelayedWrites::discharge(VarId X, const Time &TgtTo) {
+  auto It = Items.find({X, TgtTo});
+  PSOPT_CHECK(It != Items.end(), "discharging an untracked write");
+  Items.erase(It);
+}
+
+std::optional<std::pair<Time, std::uint64_t>>
+DelayedWrites::frontFor(VarId X) const {
+  for (const auto &[Key, Fuel] : Items)
+    if (Key.first == X)
+      return std::make_pair(Key.second, Fuel);
+  return std::nullopt;
+}
+
+bool DelayedWrites::decrementAll() {
+  for (auto &[Key, Fuel] : Items) {
+    if (Fuel == 0)
+      return false;
+    --Fuel;
+  }
+  return true;
+}
+
+std::size_t DelayedWrites::hash() const {
+  std::size_t Seed = 0;
+  for (const auto &[Key, Fuel] : Items) {
+    hashCombineValue(Seed, Key.first.raw());
+    hashCombine(Seed, Key.second.hash());
+    hashCombineValue(Seed, Fuel);
+  }
+  return hashFinalize(Seed);
+}
+
+std::string DelayedWrites::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Key, Fuel] : Items) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "(" + Key.first.str() + "," + Key.second.str() + ")#" +
+           std::to_string(Fuel);
+  }
+  return Out + "}";
+}
+
+} // namespace psopt

@@ -1,0 +1,64 @@
+//===- sim/DelayedWrites.h - The delayed write set D ------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The delayed write set D of §6.2 (Fig 13): D maps delayed items
+/// d ∈ (Var × Time) — non-atomic target writes the source has not yet
+/// performed — to well-founded indices. In the workbench the index is a
+/// fuel counter: the checker decrements the indices of remaining delayed
+/// writes on source stutters ((src-D)'s D' < D side condition) and fails
+/// when fuel runs out, a finite-state stand-in for well-foundedness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SIM_DELAYEDWRITES_H
+#define PSOPT_SIM_DELAYEDWRITES_H
+
+#include "ps/Memory.h"
+
+#include <cstdint>
+#include <map>
+
+namespace psopt {
+
+/// D ∈ (Var × Time) ⇀ Index.
+class DelayedWrites {
+public:
+  bool empty() const { return Items.empty(); }
+  std::size_t size() const { return Items.size(); }
+
+  /// (tgt-D): the target performed the non-atomic write identified by
+  /// (\p X, \p TgtTo); start tracking it with \p Fuel.
+  void add(VarId X, const Time &TgtTo, std::uint64_t Fuel);
+
+  /// (src-D): the source performed its write for the delayed item keyed by
+  /// the *target* timestamp (\p X, \p TgtTo). Removes the item.
+  void discharge(VarId X, const Time &TgtTo);
+
+  bool contains(VarId X, const Time &TgtTo) const {
+    return Items.count({X, TgtTo}) != 0;
+  }
+
+  /// A delayed item on location \p X, if any (the source response matcher
+  /// consumes these in timestamp order).
+  std::optional<std::pair<Time, std::uint64_t>> frontFor(VarId X) const;
+
+  /// D' < D: decrements every index; false when some index hits zero (the
+  /// well-foundedness violation — the source stalled too long).
+  bool decrementAll();
+
+  bool operator==(const DelayedWrites &O) const { return Items == O.Items; }
+
+  std::size_t hash() const;
+  std::string str() const;
+
+private:
+  std::map<std::pair<VarId, Time>, std::uint64_t> Items;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_SIM_DELAYEDWRITES_H

@@ -1,0 +1,110 @@
+//===- sim/Invariant.cpp - The invariant parameter I ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Invariant.h"
+
+namespace psopt {
+
+bool wfState(const TimestampMap &Phi, const Memory &Mt, const Memory &Ms) {
+  return Phi.domainMatches(Mt) && Phi.imageWithin(Ms) && Phi.isMonotone();
+}
+
+namespace {
+
+/// Iid(φ, (Mt, Ms), ι) ≜ Mt = Ms ∧ dom(φ) = ⌊Mt⌋ ∧ φ = id.
+class IdentityInvariant : public Invariant {
+public:
+  const char *name() const override { return "Iid"; }
+
+  bool holds(const TimestampMap &Phi, const Memory &Mt, const Memory &Ms,
+             const std::set<VarId> &) const override {
+    if (!(Mt == Ms))
+      return false;
+    if (!wfState(Phi, Mt, Ms))
+      return false;
+    for (const auto &[Key, SrcTo] : Phi.entries())
+      if (!(Key.second == SrcTo))
+        return false;
+    return true;
+  }
+};
+
+/// Idce (§7.1): atomic locations identical; every concrete non-atomic
+/// target message (x, t) has a φ-image (x, t') = ⟨x : _@(f', t']⟩ in Ms
+/// with an unused timestamp interval (tr, f'] before it:
+///
+///   ∃ tr < f'. ∀m ∈ Ms(x). m.to ≤ tr ∨ t' ≤ m.from
+///
+/// i.e. the source has free space immediately before the image message —
+/// room for the source to perform the dead writes the target eliminated
+/// (Fig 16's ①-between-⑤-and-⑧ argument).
+class DceInvariant : public Invariant {
+public:
+  explicit DceInvariant(bool RequireGap) : RequireGap(RequireGap) {}
+
+  const char *name() const override {
+    return RequireGap ? "Idce" : "Idce-nogap";
+  }
+
+  bool holds(const TimestampMap &Phi, const Memory &Mt, const Memory &Ms,
+             const std::set<VarId> &Atomics) const override {
+    if (!wfState(Phi, Mt, Ms))
+      return false;
+
+    // Atomic locations: identical message lists and identity mapping (the
+    // optimization never touches them).
+    for (VarId X : Atomics) {
+      if (!(Mt.messages(X) == Ms.messages(X)))
+        return false;
+    }
+
+    for (VarId X : Mt.locations()) {
+      if (Atomics.count(X))
+        continue;
+      for (const Message &M : Mt.messages(X)) {
+        if (!M.isConcrete() || M.To == Time(0))
+          continue;
+        auto SrcTo = Phi.get(X, M.To);
+        if (!SrcTo)
+          return false;
+        const Message *Img = Ms.findConcrete(X, *SrcTo);
+        if (!Img || Img->Value != M.Value)
+          return false;
+        if (!RequireGap)
+          continue;
+        // The unused interval before Img: the predecessor message on x in
+        // Ms must end strictly below Img->From.
+        const Message *Pred = nullptr;
+        for (const Message &SM : Ms.messages(X)) {
+          if (SM.To < Img->To && (!Pred || Pred->To < SM.To))
+            Pred = &SM;
+        }
+        if (Pred && !(Pred->To < Img->From))
+          return false; // No room to insert a dead write before Img.
+      }
+    }
+    return true;
+  }
+
+private:
+  bool RequireGap;
+};
+
+} // namespace
+
+std::unique_ptr<Invariant> createIdentityInvariant() {
+  return std::make_unique<IdentityInvariant>();
+}
+
+std::unique_ptr<Invariant> createDceInvariant() {
+  return std::make_unique<DceInvariant>(true);
+}
+
+std::unique_ptr<Invariant> createDceInvariantNoGap() {
+  return std::make_unique<DceInvariant>(false);
+}
+
+} // namespace psopt

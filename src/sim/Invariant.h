@@ -1,0 +1,66 @@
+//===- sim/Invariant.h - The invariant parameter I --------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The invariant parameter I of the thread-local simulation (§6.1, Fig 12):
+///
+///   I ∈ TMap → Sst → Atms → Prop,     S = (M_t, M_s)
+///
+/// Users instantiate I per optimization; the framework checks the sanity
+/// condition wf(I, ι) on every state it sees:
+///
+///   wf(I, ι) ≜ I(φ0, (M0, M0), ι)
+///            ∧ (I(φ, (Mt, Ms), ι) ⇒ dom(φ) = ⌊Mt⌋ ∧ φ(Mt) ⊆ ⌊Ms⌋ ∧ mon(φ))
+///
+/// Two instances from the paper ship with the workbench:
+///  * Iid (§6.1) — source and target memories are equal and φ is the
+///    identity; strong enough for ConstProp and CSE;
+///  * Idce (§7.1, Fig 16) — every non-atomic target message has a φ-related
+///    source message with an *unused timestamp interval* right before it,
+///    reserving space for the source's dead writes (lockstep simulation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SIM_INVARIANT_H
+#define PSOPT_SIM_INVARIANT_H
+
+#include "sim/TimestampMap.h"
+
+#include <memory>
+#include <set>
+
+namespace psopt {
+
+/// The invariant interface.
+class Invariant {
+public:
+  virtual ~Invariant() = default;
+
+  virtual const char *name() const = 0;
+
+  /// I(φ, (Mt, Ms), ι).
+  virtual bool holds(const TimestampMap &Phi, const Memory &Mt,
+                     const Memory &Ms, const std::set<VarId> &Atomics) const = 0;
+};
+
+/// The structural part of wf(I, ι) on one state: dom(φ) = ⌊Mt⌋,
+/// φ(Mt) ⊆ ⌊Ms⌋, mon(φ).
+bool wfState(const TimestampMap &Phi, const Memory &Mt, const Memory &Ms);
+
+/// Iid: Mt = Ms and φ is the identity on ⌊Mt⌋ (§6.1).
+std::unique_ptr<Invariant> createIdentityInvariant();
+
+/// Idce: φ-related messages with an unused source interval before each
+/// non-atomic target message (§7.1). Atomic locations must agree exactly.
+std::unique_ptr<Invariant> createDceInvariant();
+
+/// Idce with the unused-interval clause dropped — used by tests to show the
+/// clause is what makes the Fig 16 lockstep simulation work.
+std::unique_ptr<Invariant> createDceInvariantNoGap();
+
+} // namespace psopt
+
+#endif // PSOPT_SIM_INVARIANT_H

@@ -1,0 +1,90 @@
+//===- sim/TimestampMap.cpp - The timestamp mapping φ --------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TimestampMap.h"
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+namespace psopt {
+
+TimestampMap TimestampMap::initial(const Memory &Init) {
+  TimestampMap Phi;
+  for (VarId X : Init.locations())
+    Phi.Map[{X, Time(0)}] = Time(0);
+  return Phi;
+}
+
+std::optional<Time> TimestampMap::get(VarId X, const Time &TgtTo) const {
+  auto It = Map.find({X, TgtTo});
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void TimestampMap::bind(VarId X, const Time &TgtTo, const Time &SrcTo) {
+  auto [It, Inserted] = Map.emplace(std::make_pair(X, TgtTo), SrcTo);
+  PSOPT_CHECK(Inserted, "rebinding an existing timestamp pair");
+}
+
+bool TimestampMap::domainMatches(const Memory &Mt) const {
+  std::size_t Concrete = 0;
+  for (VarId X : Mt.locations()) {
+    for (const Message &M : Mt.messages(X)) {
+      if (!M.isConcrete())
+        continue;
+      ++Concrete;
+      if (!Map.count({X, M.To}))
+        return false;
+    }
+  }
+  return Concrete == Map.size();
+}
+
+bool TimestampMap::imageWithin(const Memory &Ms) const {
+  for (const auto &[Key, SrcTo] : Map)
+    if (!Ms.findConcrete(Key.first, SrcTo))
+      return false;
+  return true;
+}
+
+bool TimestampMap::isMonotone() const {
+  // Entries are sorted by (var, target-to); within one var the source side
+  // must be strictly increasing.
+  const VarId *PrevVar = nullptr;
+  const Time *PrevSrc = nullptr;
+  for (const auto &[Key, SrcTo] : Map) {
+    if (PrevVar && *PrevVar == Key.first && !(*PrevSrc < SrcTo))
+      return false;
+    PrevVar = &Key.first;
+    PrevSrc = &SrcTo;
+  }
+  return true;
+}
+
+std::size_t TimestampMap::hash() const {
+  std::size_t Seed = 0;
+  for (const auto &[Key, SrcTo] : Map) {
+    hashCombineValue(Seed, Key.first.raw());
+    hashCombine(Seed, Key.second.hash());
+    hashCombine(Seed, SrcTo.hash());
+  }
+  return hashFinalize(Seed);
+}
+
+std::string TimestampMap::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Key, SrcTo] : Map) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "(" + Key.first.str() + "," + Key.second.str() + ")->" +
+           SrcTo.str();
+  }
+  return Out + "}";
+}
+
+} // namespace psopt

@@ -1,0 +1,61 @@
+//===- sim/TimestampMap.h - The timestamp mapping φ -------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timestamp mapping φ of §6.1 (Fig 12): a partial map
+/// (Var × Time) ⇀ Time relating "to"-timestamps of target messages to
+/// "to"-timestamps of source messages. Well-formed invariants require
+/// dom(φ) = ⌊M_t⌋, φ(M_t) ⊆ ⌊M_s⌋ and monotonicity per location (mon(φ)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SIM_TIMESTAMPMAP_H
+#define PSOPT_SIM_TIMESTAMPMAP_H
+
+#include "ps/Memory.h"
+
+#include <map>
+#include <optional>
+
+namespace psopt {
+
+/// φ: (Var × Time) ⇀ Time.
+class TimestampMap {
+public:
+  /// The initial mapping φ0 = {(x, 0) ↦ 0 | x ∈ Var} over the locations of
+  /// \p Init.
+  static TimestampMap initial(const Memory &Init);
+
+  std::optional<Time> get(VarId X, const Time &TgtTo) const;
+
+  /// Extends φ with (x, t) ↦ t'. Overwrites nothing: the pair must be new.
+  void bind(VarId X, const Time &TgtTo, const Time &SrcTo);
+
+  /// dom(φ) = ⌊Mt⌋: the domain is exactly the concrete messages of \p Mt.
+  bool domainMatches(const Memory &Mt) const;
+
+  /// φ(Mt) ⊆ ⌊Ms⌋: every image is a concrete message of \p Ms.
+  bool imageWithin(const Memory &Ms) const;
+
+  /// mon(φ): per location, strictly increasing.
+  bool isMonotone() const;
+
+  bool operator==(const TimestampMap &O) const { return Map == O.Map; }
+
+  std::size_t hash() const;
+  std::string str() const;
+
+  const std::map<std::pair<VarId, Time>, Time> &entries() const {
+    return Map;
+  }
+
+private:
+  std::map<std::pair<VarId, Time>, Time> Map;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_SIM_TIMESTAMPMAP_H

@@ -1,0 +1,45 @@
+//===- support/Debug.h - Assertions and unreachable markers ----*- C++ -*-===//
+//
+// Part of psopt, an executable workbench for "Verifying Optimizations of
+// Concurrent Programs in the Promising Semantics" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers in the spirit of llvm/Support/ErrorHandling.h:
+/// an unreachable marker that aborts with a message, and a checked-assert
+/// macro that survives NDEBUG builds for cheap invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SUPPORT_DEBUG_H
+#define PSOPT_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psopt {
+
+/// Aborts the process after printing \p Msg with source location info.
+[[noreturn]] inline void reportFatalError(const char *Msg, const char *File,
+                                          unsigned Line) {
+  std::fprintf(stderr, "psopt fatal error: %s at %s:%u\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace psopt
+
+/// Marks a program point that must never execute (fully-covered switches,
+/// validated-away cases). Always live, even under NDEBUG: the semantics
+/// explorer depends on these invariants for soundness.
+#define PSOPT_UNREACHABLE(MSG) ::psopt::reportFatalError(MSG, __FILE__, __LINE__)
+
+/// Always-on invariant check. Use for cheap conditions whose violation would
+/// silently corrupt explored state spaces.
+#define PSOPT_CHECK(COND, MSG)                                                 \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::psopt::reportFatalError(MSG, __FILE__, __LINE__);                      \
+  } while (false)
+
+#endif // PSOPT_SUPPORT_DEBUG_H

@@ -1,0 +1,87 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <numeric>
+
+namespace psopt {
+
+static std::int64_t checkedMul(std::int64_t A, std::int64_t B) {
+  std::int64_t R;
+  PSOPT_CHECK(!__builtin_mul_overflow(A, B, &R), "rational overflow (mul)");
+  return R;
+}
+
+static std::int64_t checkedAdd(std::int64_t A, std::int64_t B) {
+  std::int64_t R;
+  PSOPT_CHECK(!__builtin_add_overflow(A, B, &R), "rational overflow (add)");
+  return R;
+}
+
+Rational::Rational(std::int64_t N, std::int64_t D) {
+  PSOPT_CHECK(D != 0, "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  std::int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  return Rational(checkedAdd(checkedMul(Num, O.Den), checkedMul(O.Num, Den)),
+                  checkedMul(Den, O.Den));
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return Rational(checkedAdd(checkedMul(Num, O.Den), -checkedMul(O.Num, Den)),
+                  checkedMul(Den, O.Den));
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  return Rational(checkedMul(Num, O.Num), checkedMul(Den, O.Den));
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  PSOPT_CHECK(O.Num != 0, "rational division by zero");
+  return Rational(checkedMul(Num, O.Den), checkedMul(Den, O.Num));
+}
+
+bool Rational::operator<(const Rational &O) const {
+  // Cross-multiply; denominators are positive so the comparison direction is
+  // preserved.
+  return checkedMul(Num, O.Den) < checkedMul(O.Num, Den);
+}
+
+Rational Rational::midpoint(const Rational &A, const Rational &B) {
+  return (A + B) / Rational(2);
+}
+
+Rational Rational::lerp(const Rational &A, const Rational &B, std::int64_t N,
+                        std::int64_t D) {
+  return A + (B - A) * Rational(N, D);
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+std::size_t Rational::hash() const {
+  std::size_t Seed = 0;
+  hashCombineValue(Seed, Num);
+  hashCombineValue(Seed, Den);
+  return hashFinalize(Seed);
+}
+
+} // namespace psopt

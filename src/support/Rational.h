@@ -1,0 +1,84 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64, used as the timestamp domain of the
+/// promising semantics (Fig 8: Time ∈ Q). Timestamps only need ordering,
+/// midpoints and small offsets, so the interface is deliberately narrow.
+/// The explorer canonicalizes all timestamps to small integers after every
+/// machine step (see explore/Canonical.h), which keeps numerators and
+/// denominators tiny; nevertheless all operations check for overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SUPPORT_RATIONAL_H
+#define PSOPT_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace psopt {
+
+/// An exact rational number with a canonical (reduced, positive-denominator)
+/// representation. Value-type: cheap to copy, totally ordered.
+class Rational {
+public:
+  /// Constructs zero.
+  constexpr Rational() : Num(0), Den(1) {}
+
+  /// Constructs the integer \p N.
+  constexpr Rational(std::int64_t N) : Num(N), Den(1) {}
+
+  /// Constructs \p N / \p D, reducing to canonical form. \p D must be
+  /// non-zero.
+  Rational(std::int64_t N, std::int64_t D);
+
+  std::int64_t numerator() const { return Num; }
+  std::int64_t denominator() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  /// Divides by \p O, which must be non-zero.
+  Rational operator/(const Rational &O) const;
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator<=(const Rational &O) const { return *this < O || *this == O; }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  /// Returns the midpoint (A + B) / 2. Used to split timestamp gaps.
+  static Rational midpoint(const Rational &A, const Rational &B);
+
+  /// Returns A + (B - A) * Frac where Frac = N/D. Used to split a gap into
+  /// several sub-intervals (the explorer's 1/3-2/3 write placement).
+  static Rational lerp(const Rational &A, const Rational &B, std::int64_t N,
+                       std::int64_t D);
+
+  /// Renders e.g. "7" or "7/3".
+  std::string str() const;
+
+  std::size_t hash() const;
+
+private:
+  std::int64_t Num;
+  std::int64_t Den; // > 0, gcd(|Num|, Den) == 1.
+};
+
+} // namespace psopt
+
+template <> struct std::hash<psopt::Rational> {
+  std::size_t operator()(const psopt::Rational &R) const { return R.hash(); }
+};
+
+#endif // PSOPT_SUPPORT_RATIONAL_H

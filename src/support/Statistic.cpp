@@ -1,0 +1,43 @@
+//===- support/Statistic.cpp - Lightweight counters ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static std::vector<Statistic *> &registry() {
+  static std::vector<Statistic *> R;
+  return R;
+}
+
+Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  registry().push_back(this);
+}
+
+const std::vector<Statistic *> &allStatistics() { return registry(); }
+
+void resetStatistics() {
+  for (Statistic *S : registry())
+    S->reset();
+}
+
+std::string formatStatistics() {
+  std::string Out;
+  for (const Statistic *S : registry()) {
+    if (S->value() == 0)
+      continue;
+    Out += S->group();
+    Out += '.';
+    Out += S->name();
+    Out += " = ";
+    Out += std::to_string(S->value());
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace psopt

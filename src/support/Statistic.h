@@ -1,0 +1,62 @@
+//===- support/Statistic.h - Lightweight counters ---------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters in the style of llvm/ADT/Statistic.h. Modules register
+/// counters at namespace scope; tools and benches can dump or reset the
+/// whole registry. Counters are process-global and not thread-safe: the
+/// explorer is single-threaded by design (determinism).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SUPPORT_STATISTIC_H
+#define PSOPT_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psopt {
+
+/// A named monotone counter registered with the global statistics registry.
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc);
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(std::uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  std::uint64_t value() const { return Value; }
+  void reset() { Value = 0; }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *description() const { return Desc; }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::uint64_t Value = 0;
+};
+
+/// Returns all registered statistics (stable registration order).
+const std::vector<Statistic *> &allStatistics();
+
+/// Resets every registered statistic to zero.
+void resetStatistics();
+
+/// Renders the registry as "group.name = value" lines; benches print this.
+std::string formatStatistics();
+
+} // namespace psopt
+
+#endif // PSOPT_SUPPORT_STATISTIC_H

@@ -1,0 +1,60 @@
+//===- support/Symbol.cpp - Interned identifiers -------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+#include "support/Debug.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace psopt {
+namespace detail {
+
+namespace {
+struct SymbolTable {
+  std::unordered_map<std::string, std::uint32_t> Ids;
+  std::vector<std::string> Names;
+};
+
+SymbolTable &tableFor(unsigned Space) {
+  PSOPT_CHECK(Space < 3, "invalid symbol space");
+  static SymbolTable Tables[3];
+  return Tables[Space];
+}
+} // namespace
+
+std::uint32_t internSymbol(unsigned Space, const std::string &Name) {
+  SymbolTable &T = tableFor(Space);
+  auto It = T.Ids.find(Name);
+  if (It != T.Ids.end())
+    return It->second;
+  std::uint32_t Id = static_cast<std::uint32_t>(T.Names.size());
+  T.Ids.emplace(Name, Id);
+  T.Names.push_back(Name);
+  return Id;
+}
+
+const std::string &symbolName(unsigned Space, std::uint32_t Id) {
+  SymbolTable &T = tableFor(Space);
+  PSOPT_CHECK(Id < T.Names.size(), "symbol id out of range");
+  return T.Names[Id];
+}
+
+std::uint32_t symbolCount(unsigned Space) {
+  return static_cast<std::uint32_t>(tableFor(Space).Names.size());
+}
+
+std::uint32_t freshSymbol(unsigned Space, const std::string &Prefix) {
+  SymbolTable &T = tableFor(Space);
+  for (unsigned N = 0;; ++N) {
+    std::string Candidate = Prefix + "$" + std::to_string(N);
+    if (!T.Ids.count(Candidate))
+      return internSymbol(Space, Candidate);
+  }
+}
+
+} // namespace detail
+} // namespace psopt

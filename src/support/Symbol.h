@@ -1,0 +1,86 @@
+//===- support/Symbol.h - Interned identifiers ------------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers for the three name spaces of CSimpRTL (Fig 7):
+/// shared-memory variables (Var), registers (Reg) and function names. Each
+/// name space hands out dense 32-bit ids so that analyses can use bitsets
+/// and vectors instead of string maps. Interning is process-global; litmus
+/// programs are small and names are shared across source/target pairs by
+/// design (the simulation relates same-named locations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SUPPORT_SYMBOL_H
+#define PSOPT_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace psopt {
+
+namespace detail {
+/// Interns \p Name in the table for \p Space (0 = Var, 1 = Reg, 2 = Func)
+/// and returns its dense id.
+std::uint32_t internSymbol(unsigned Space, const std::string &Name);
+/// Returns the spelling of id \p Id in \p Space.
+const std::string &symbolName(unsigned Space, std::uint32_t Id);
+/// Number of symbols interned so far in \p Space.
+std::uint32_t symbolCount(unsigned Space);
+/// Returns a fresh symbol in \p Space whose spelling starts with \p Prefix
+/// and collides with no existing symbol. Used by LInv to allocate fresh
+/// registers.
+std::uint32_t freshSymbol(unsigned Space, const std::string &Prefix);
+} // namespace detail
+
+/// A typed interned identifier. \p Space selects the name space so that
+/// Var/Reg/Func ids cannot be mixed up.
+template <unsigned Space> class SymbolId {
+public:
+  SymbolId() : Id(~0u) {}
+  explicit SymbolId(const std::string &Name)
+      : Id(detail::internSymbol(Space, Name)) {}
+  static SymbolId fromRaw(std::uint32_t Raw) {
+    SymbolId S;
+    S.Id = Raw;
+    return S;
+  }
+  /// Allocates a fresh, never-before-seen symbol starting with \p Prefix.
+  static SymbolId fresh(const std::string &Prefix) {
+    return fromRaw(detail::freshSymbol(Space, Prefix));
+  }
+  /// Total number of interned symbols in this name space.
+  static std::uint32_t universeSize() { return detail::symbolCount(Space); }
+
+  bool isValid() const { return Id != ~0u; }
+  std::uint32_t raw() const { return Id; }
+  const std::string &str() const { return detail::symbolName(Space, Id); }
+
+  bool operator==(const SymbolId &O) const { return Id == O.Id; }
+  bool operator!=(const SymbolId &O) const { return Id != O.Id; }
+  bool operator<(const SymbolId &O) const { return Id < O.Id; }
+
+private:
+  std::uint32_t Id;
+};
+
+/// A shared-memory location (Var in Fig 7).
+using VarId = SymbolId<0>;
+/// A thread-local register (Reg in Fig 7).
+using RegId = SymbolId<1>;
+/// A function name (Lab f in Fig 7's Prog production).
+using FuncId = SymbolId<2>;
+
+} // namespace psopt
+
+template <unsigned Space> struct std::hash<psopt::SymbolId<Space>> {
+  std::size_t operator()(const psopt::SymbolId<Space> &S) const {
+    return std::hash<std::uint32_t>{}(S.raw());
+  }
+};
+
+#endif // PSOPT_SUPPORT_SYMBOL_H

@@ -1,0 +1,146 @@
+//===- tests/analysis/AvailLoadsTest.cpp - Availability analysis tests ----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The CSE/LICM availability analysis, centered on the acquire rule (Fig 1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AvailLoads.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+struct AvEnv {
+  Program P;
+  Cfg G;
+  AvailResult R;
+
+  explicit AvEnv(const char *Src)
+      : P(parseProgramOrDie(Src)), G(Cfg::build(P.function(FuncId("f")))) {
+    R = analyzeAvailLoads(P, P.function(FuncId("f")), G);
+  }
+
+  const AvailFact &before(BlockLabel L, unsigned I) const {
+    return R.BeforeInstr.at(L)[I];
+  }
+};
+
+TEST(AvailLoadsTest, LoadInstallsEquation) {
+  AvEnv E(R"(var x; func f { block 0: r1 := x.na; r2 := x.na; ret; }
+             thread f;)");
+  auto R0 = E.before(0, 1).regForVar(VarId("x"));
+  ASSERT_TRUE(R0.has_value());
+  EXPECT_EQ(*R0, RegId("r1"));
+}
+
+TEST(AvailLoadsTest, AcquireReadKillsAllLoadEquations) {
+  AvEnv E(R"(var x; var a atomic;
+             func f { block 0: r1 := x.na; r2 := a.acq; r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, RelaxedReadPreservesLoadEquations) {
+  AvEnv E(R"(var x; var a atomic;
+             func f { block 0: r1 := x.na; r2 := a.rlx; r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_TRUE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, ReleaseWritePreservesLoadEquations) {
+  AvEnv E(R"(var x; var a atomic;
+             func f { block 0: r1 := x.na; a.rel := 1; r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_TRUE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, CasKillsLoadEquations) {
+  AvEnv E(R"(var x; var a atomic;
+             func f { block 0: r1 := x.na;
+                      r2 := cas(a, 0, 1, rlx, rlx); r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, OwnStoreKillsThenForwardsRegister) {
+  AvEnv E(R"(var x;
+             func f { block 0: r1 := x.na; x.na := r2; r3 := x.na; ret; }
+             thread f;)");
+  auto R0 = E.before(0, 2).regForVar(VarId("x"));
+  ASSERT_TRUE(R0.has_value());
+  EXPECT_EQ(*R0, RegId("r2")); // store-to-load forwarding
+}
+
+TEST(AvailLoadsTest, StoreOfExpressionJustKills) {
+  AvEnv E(R"(var x;
+             func f { block 0: r1 := x.na; x.na := r2 + 1; r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, RedefiningRegisterKillsItsEquations) {
+  AvEnv E(R"(var x;
+             func f { block 0: r1 := x.na; r1 := 0; r3 := x.na; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 2).regForVar(VarId("x")).has_value());
+}
+
+TEST(AvailLoadsTest, ExpressionEquations) {
+  AvEnv E(R"(func f { block 0: r1 := r2 + r3; r4 := r2 + r3; ret; }
+             thread f;)");
+  ExprRef E1 = Expr::makeBin(BinOp::Add, Expr::makeReg(RegId("r2")),
+                             Expr::makeReg(RegId("r3")));
+  auto R0 = E.before(0, 1).regForExpr(E1);
+  ASSERT_TRUE(R0.has_value());
+  EXPECT_EQ(*R0, RegId("r1"));
+}
+
+TEST(AvailLoadsTest, ExpressionKilledByOperandRedefinition) {
+  AvEnv E(R"(func f { block 0: r1 := r2 + r3; r2 := 0; r4 := r2 + r3; ret; }
+             thread f;)");
+  ExprRef E1 = Expr::makeBin(BinOp::Add, Expr::makeReg(RegId("r2")),
+                             Expr::makeReg(RegId("r3")));
+  EXPECT_FALSE(E.before(0, 2).regForExpr(E1).has_value());
+}
+
+TEST(AvailLoadsTest, MeetIntersectsAcrossPaths) {
+  AvEnv E(R"(var x; var y;
+             func f { block 0: r1 := x.na; be c, 1, 2;
+                      block 1: r2 := y.na; jmp 3;
+                      block 2: skip; jmp 3;
+                      block 3: r9 := x.na; ret; } thread f;)");
+  // x's equation survives both paths; y's only one.
+  EXPECT_TRUE(E.before(3, 0).regForVar(VarId("x")).has_value());
+  EXPECT_FALSE(E.before(3, 0).regForVar(VarId("y")).has_value());
+}
+
+TEST(AvailLoadsTest, LoopKeepsInvariantEquation) {
+  // The preheader load survives the loop body (no killers inside): this is
+  // exactly what lets CSE finish LICM.
+  AvEnv E(R"(var x;
+             func f { block 0: r0 := x.na; jmp 1;
+                      block 1: be r1 < 2, 2, 3;
+                      block 2: r2 := x.na; r1 := r1 + 1; jmp 1;
+                      block 3: ret; } thread f;)");
+  auto R0 = E.before(2, 0).regForVar(VarId("x"));
+  ASSERT_TRUE(R0.has_value());
+  EXPECT_EQ(*R0, RegId("r0"));
+}
+
+TEST(AvailLoadsTest, LoopWithAcquireLosesEquation) {
+  AvEnv E(R"(var x; var a atomic;
+             func f { block 0: r0 := x.na; jmp 1;
+                      block 1: be r1 < 2, 2, 3;
+                      block 2: r9 := a.acq; r2 := x.na; r1 := r1 + 1; jmp 1;
+                      block 3: ret; } thread f;)");
+  EXPECT_FALSE(E.before(2, 1).regForVar(VarId("x")).has_value());
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,144 @@
+//===- tests/analysis/CfgTest.cpp - CFG, dominators, loops ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+Function fnOf(const char *Src) {
+  Program P = parseProgramOrDie(Src);
+  return P.function(FuncId("f"));
+}
+
+TEST(CfgTest, LinearChain) {
+  Function F = fnOf(R"(func f { block 0: jmp 1; block 1: jmp 2;
+                        block 2: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  EXPECT_EQ(G.rpo(), (std::vector<BlockLabel>{0, 1, 2}));
+  EXPECT_EQ(G.successors(0), (std::vector<BlockLabel>{1}));
+  EXPECT_EQ(G.predecessors(2), (std::vector<BlockLabel>{1}));
+  EXPECT_TRUE(G.isReachable(2));
+}
+
+TEST(CfgTest, UnreachableBlockExcluded) {
+  Function F = fnOf(R"(func f { block 0: ret; block 7: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  EXPECT_TRUE(G.isReachable(0));
+  EXPECT_FALSE(G.isReachable(7));
+  EXPECT_EQ(G.rpo().size(), 1u);
+}
+
+TEST(CfgTest, DiamondRpoOrder) {
+  Function F = fnOf(R"(func f { block 0: be r, 1, 2;
+                        block 1: jmp 3; block 2: jmp 3;
+                        block 3: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  ASSERT_EQ(G.rpo().size(), 4u);
+  // Entry first, join last.
+  EXPECT_EQ(G.rpo().front(), 0u);
+  EXPECT_EQ(G.rpo().back(), 3u);
+  EXPECT_LT(G.rpoIndex(1), G.rpoIndex(3));
+  EXPECT_LT(G.rpoIndex(2), G.rpoIndex(3));
+  EXPECT_EQ(G.predecessors(3).size(), 2u);
+}
+
+TEST(CfgTest, CallEdgeGoesToReturnLabel) {
+  Function F = fnOf(R"(func f { block 0: call g, 1; block 1: ret; }
+                       func g { block 0: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  EXPECT_EQ(G.successors(0), (std::vector<BlockLabel>{1}));
+}
+
+TEST(DominatorsTest, Diamond) {
+  Function F = fnOf(R"(func f { block 0: be r, 1, 2;
+                        block 1: jmp 3; block 2: jmp 3;
+                        block 3: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_TRUE(D.dominates(0, 1));
+  EXPECT_TRUE(D.dominates(3, 3));
+  EXPECT_FALSE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+TEST(DominatorsTest, LoopHeaderDominatesBody) {
+  Function F = fnOf(R"(func f { block 0: jmp 1;
+                        block 1: be r, 2, 3;
+                        block 2: jmp 1;
+                        block 3: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 3));
+}
+
+TEST(LoopsTest, SimpleWhileLoop) {
+  Function F = fnOf(R"(var x;
+    func f { block 0: jmp 1;
+             block 1: be r, 2, 3;
+             block 2: r2 := x.na; jmp 1;
+             block 3: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  auto Loops = findNaturalLoops(F, G, D);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header, 1u);
+  EXPECT_EQ(Loops[0].Body, (std::set<BlockLabel>{1, 2}));
+  EXPECT_EQ(Loops[0].Entries, (std::vector<BlockLabel>{0}));
+}
+
+TEST(LoopsTest, SelfLoop) {
+  Function F = fnOf(R"(func f { block 0: jmp 1;
+                        block 1: be r, 1, 2;
+                        block 2: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  auto Loops = findNaturalLoops(F, G, D);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header, 1u);
+  EXPECT_EQ(Loops[0].Body, (std::set<BlockLabel>{1}));
+}
+
+TEST(LoopsTest, NestedLoopsShareNothing) {
+  Function F = fnOf(R"(func f {
+    block 0: jmp 1;
+    block 1: be r, 2, 5;    # outer header
+    block 2: jmp 3;
+    block 3: be q, 3, 4;    # inner self-loop
+    block 4: jmp 1;
+    block 5: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  auto Loops = findNaturalLoops(F, G, D);
+  ASSERT_EQ(Loops.size(), 2u);
+  // One loop headed at 1 containing {1,2,3,4}; one at 3 containing {3}.
+  for (const Loop &L : Loops) {
+    if (L.Header == 1) {
+      EXPECT_EQ(L.Body, (std::set<BlockLabel>{1, 2, 3, 4}));
+    } else {
+      EXPECT_EQ(L.Header, 3u);
+      EXPECT_EQ(L.Body, (std::set<BlockLabel>{3}));
+    }
+  }
+}
+
+TEST(LoopsTest, NoLoopsInDag) {
+  Function F = fnOf(R"(func f { block 0: be r, 1, 2;
+                        block 1: jmp 3; block 2: jmp 3;
+                        block 3: ret; } thread f;)");
+  Cfg G = Cfg::build(F);
+  Dominators D = Dominators::compute(G);
+  EXPECT_TRUE(findNaturalLoops(F, G, D).empty());
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,90 @@
+//===- tests/analysis/ConstAnalysisTest.cpp - Constant analysis tests -----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstAnalysis.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+struct CAEnv {
+  Program P;
+  Cfg G;
+  ConstResult R;
+
+  explicit CAEnv(const char *Src)
+      : P(parseProgramOrDie(Src)), G(Cfg::build(P.function(FuncId("f")))) {
+    R = analyzeConstants(P.function(FuncId("f")), G);
+  }
+
+  const ConstFact &before(BlockLabel L, unsigned I) const {
+    return R.BeforeInstr.at(L)[I];
+  }
+};
+
+TEST(ConstAnalysisTest, StraightLinePropagation) {
+  CAEnv E(R"(func f { block 0: r1 := 5; r2 := r1 + 2; print(r2); ret; }
+             thread f;)");
+  EXPECT_EQ(E.before(0, 1).get(RegId("r1")).value(), 5);
+  EXPECT_EQ(E.before(0, 2).get(RegId("r2")).value(), 7);
+}
+
+TEST(ConstAnalysisTest, LoadsGiveUnknown) {
+  CAEnv E(R"(var x; func f { block 0: r := x.na; print(r); ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 1).get(RegId("r")).has_value());
+}
+
+TEST(ConstAnalysisTest, CasGivesUnknown) {
+  CAEnv E(R"(var x atomic;
+             func f { block 0: r := cas(x, 0, 1, rlx, rlx); print(r); ret; }
+             thread f;)");
+  EXPECT_FALSE(E.before(0, 1).get(RegId("r")).has_value());
+}
+
+TEST(ConstAnalysisTest, JoinKeepsAgreeingConstants) {
+  CAEnv E(R"(func f { block 0: r1 := 1; be c, 1, 2;
+             block 1: r2 := 7; jmp 3;
+             block 2: r2 := 7; jmp 3;
+             block 3: print(r1 + r2); ret; } thread f;)");
+  // Both paths set r2 = 7 and leave r1 = 1.
+  EXPECT_EQ(E.before(3, 0).get(RegId("r1")).value(), 1);
+  EXPECT_EQ(E.before(3, 0).get(RegId("r2")).value(), 7);
+}
+
+TEST(ConstAnalysisTest, JoinDropsDisagreeingConstants) {
+  CAEnv E(R"(func f { block 0: be c, 1, 2;
+             block 1: r2 := 7; jmp 3;
+             block 2: r2 := 8; jmp 3;
+             block 3: print(r2); ret; } thread f;)");
+  EXPECT_FALSE(E.before(3, 0).get(RegId("r2")).has_value());
+}
+
+TEST(ConstAnalysisTest, LoopInvalidatesRedefined) {
+  CAEnv E(R"(func f { block 0: r := 0; jmp 1;
+             block 1: r := r + 1; be r < 3, 1, 2;
+             block 2: print(r); ret; } thread f;)");
+  // r enters block 1 as 0 on the first trip and as 1, 2, ... later: ⊤.
+  EXPECT_FALSE(E.before(1, 0).get(RegId("r")).has_value());
+}
+
+TEST(ConstAnalysisTest, EntryIsUnknown) {
+  // Registers can carry caller values: nothing is constant at entry.
+  CAEnv E(R"(func f { block 0: print(r9); ret; } thread f;)");
+  EXPECT_FALSE(E.before(0, 0).get(RegId("r9")).has_value());
+}
+
+TEST(ConstAnalysisTest, WrapAroundFolding) {
+  CAEnv E(R"(func f { block 0: r1 := 2147483647; r2 := r1 + 1;
+             print(r2); ret; } thread f;)");
+  EXPECT_EQ(E.before(0, 2).get(RegId("r2")).value(),
+            std::numeric_limits<Val>::min());
+}
+
+} // namespace
+} // namespace psopt

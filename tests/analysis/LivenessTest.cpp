@@ -1,0 +1,166 @@
+//===- tests/analysis/LivenessTest.cpp - Lv_Analyzer tests ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// §7.1's liveness analysis, centered on the release rule of Fig 15.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+struct LvEnv {
+  Program P;
+  LiveUniverse U;
+  Cfg G;
+  LivenessResult R;
+  const Function *F;
+
+  explicit LvEnv(const char *Src)
+      : P(parseProgramOrDie(Src)), U(LiveUniverse::of(P)),
+        G(Cfg::build(P.function(FuncId("f")))) {
+    F = &P.function(FuncId("f"));
+    R = analyzeLiveness(*F, G, U);
+  }
+
+  const LiveSet &after(BlockLabel L, unsigned I) const {
+    return R.AfterInstr.at(L)[I];
+  }
+};
+
+TEST(LivenessTest, OverwrittenStoreIsDead) {
+  // §7.1 example (1): x := 1; x := 2 — x is dead after the first store.
+  LvEnv E(R"(var x; func f { block 0: x.na := 1; x.na := 2; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.after(0, 0).isVarLive(VarId("x")));
+  // After the last store, x is live (boundary: everything live at ret).
+  EXPECT_TRUE(E.after(0, 1).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, Fig15ReleaseRule) {
+  // y := 2; x.rel := 1; y := 4 — y is dead after y := 2 *only* if liveness
+  // (incorrectly) crossed the release write. The correct analysis keeps y
+  // live before the release (blue annotation of Fig 15).
+  LvEnv E(R"(var y; var x atomic;
+             func f { block 0: y.na := 2; x.rel := 1; y.na := 4; ret; }
+             thread f;)");
+  // After y := 2, i.e. before the release write: y live (release rule).
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("y")));
+  // After the release write, y := 4 overwrites: y dead.
+  EXPECT_FALSE(E.after(0, 1).isVarLive(VarId("y")));
+}
+
+TEST(LivenessTest, KillsStillWorkBeforeARelease) {
+  // x := 5; x := 6; y.rel := 1 — the first store is dead: overwritten
+  // before the release republishes anything.
+  LvEnv E(R"(var x; var y atomic;
+             func f { block 0: x.na := 5; x.na := 6; y.rel := 1; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.after(0, 0).isVarLive(VarId("x")));
+  EXPECT_TRUE(E.after(0, 1).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, RelaxedWriteIsNoBarrier) {
+  // DCE may cross relaxed writes (§7.1): y stays dead across x.rlx := 1.
+  LvEnv E(R"(var y; var x atomic;
+             func f { block 0: y.na := 2; x.rlx := 1; y.na := 4; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.after(0, 0).isVarLive(VarId("y")));
+}
+
+TEST(LivenessTest, AcquireReadIsNoBarrier) {
+  // DCE may cross acquire reads (§7.1).
+  LvEnv E(R"(var y; var x atomic;
+             func f { block 0: y.na := 2; r := x.acq; y.na := 4; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.after(0, 0).isVarLive(VarId("y")));
+}
+
+TEST(LivenessTest, ReleaseCasIsABarrier) {
+  LvEnv E(R"(var y; var x atomic;
+             func f { block 0: y.na := 2;
+                      r := cas(x, 0, 1, rlx, rel); y.na := 4; ret; }
+             thread f;)");
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("y")));
+}
+
+TEST(LivenessTest, RelaxedCasIsNoBarrier) {
+  LvEnv E(R"(var y; var x atomic;
+             func f { block 0: y.na := 2;
+                      r := cas(x, 0, 1, rlx, rlx); y.na := 4; ret; }
+             thread f;)");
+  EXPECT_FALSE(E.after(0, 0).isVarLive(VarId("y")));
+}
+
+TEST(LivenessTest, ReadMakesVarLive) {
+  LvEnv E(R"(var x; func f { block 0: x.na := 1; r := x.na; print(r); ret; }
+             thread f;)");
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, RegisterLiveness) {
+  LvEnv E(R"(func f { block 0: r1 := 1; r2 := 2; print(r2); ret; }
+             thread f;)");
+  // r1 is never used before ret... but the ret boundary keeps every
+  // register live (the caller may read it), so only the overwrite case is
+  // dead:
+  LvEnv E2(R"(func f { block 0: r1 := 1; r1 := 2; print(r1); ret; }
+              thread f;)");
+  EXPECT_FALSE(E2.after(0, 0).isRegLive(RegId("r1")));
+  EXPECT_TRUE(E2.after(0, 1).isRegLive(RegId("r1")));
+  EXPECT_TRUE(E.after(0, 0).isRegLive(RegId("r1"))); // live at ret boundary
+}
+
+TEST(LivenessTest, BranchConditionRegsLive) {
+  LvEnv E(R"(func f { block 0: r := 1; be r == 1, 1, 1; block 1: ret; }
+             thread f;)");
+  EXPECT_TRUE(E.after(0, 0).isRegLive(RegId("r")));
+}
+
+TEST(LivenessTest, CallIsABarrier) {
+  LvEnv E(R"(var x;
+             func f { block 0: x.na := 1; call g, 1; block 1: x.na := 2; ret; }
+             func g { block 0: ret; }
+             thread f;)");
+  // Before the call (after x := 1) everything is live.
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, LoopFixpoint) {
+  // The loop reads x each iteration: x is live throughout the loop even
+  // though the read is "later" through a back edge.
+  LvEnv E(R"(var x;
+             func f { block 0: x.na := 7; jmp 1;
+                      block 1: be r1 < 2, 2, 3;
+                      block 2: r2 := x.na; r1 := r1 + 1; jmp 1;
+                      block 3: ret; } thread f;)");
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, ReleaseInsideInfiniteLoopStillPublishes) {
+  // Block 1 loops forever, releasing each iteration: the store in block 0
+  // must stay live (the solver seeds non-ret blocks with bottom but still
+  // iterates them to fixpoint).
+  LvEnv E(R"(var x; var f atomic;
+             func f { block 0: x.na := 1; jmp 1;
+                      block 1: f.rel := 1; jmp 1; } thread f;)");
+  EXPECT_TRUE(E.after(0, 0).isVarLive(VarId("x")));
+}
+
+TEST(LivenessTest, UniverseExcludesAtomics) {
+  Program P = parseProgramOrDie(R"(var x; var a atomic;
+    func f { block 0: x.na := 1; a.rlx := 2; ret; } thread f;)");
+  LiveUniverse U = LiveUniverse::of(P);
+  EXPECT_TRUE(U.Vars.count(VarId("x")));
+  EXPECT_FALSE(U.Vars.count(VarId("a")));
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,69 @@
+//===- tests/explore/BehaviorTest.cpp - Behavior set API tests --------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(BehaviorTest, OrderingAndEquality) {
+  Behavior A{{1, 2}, Behavior::End::Done};
+  Behavior B{{1, 2}, Behavior::End::Done};
+  Behavior C{{1, 2}, Behavior::End::Abort};
+  Behavior D{{1, 3}, Behavior::End::Done};
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A == C);
+  EXPECT_TRUE(A < C || C < A);
+  EXPECT_TRUE(A < D);
+}
+
+TEST(BehaviorTest, Rendering) {
+  EXPECT_EQ((Behavior{{1, 2}, Behavior::End::Done}).str(), "[1, 2] done");
+  EXPECT_EQ((Behavior{{}, Behavior::End::Abort}).str(), "[] abort");
+  EXPECT_EQ((Behavior{{5}, Behavior::End::Partial}).str(), "[5] ...");
+}
+
+TEST(BehaviorSetTest, HasDoneExactTrace) {
+  BehaviorSet B;
+  B.Done.insert({1, 2});
+  EXPECT_TRUE(B.hasDone({1, 2}));
+  EXPECT_FALSE(B.hasDone({2, 1}));
+}
+
+TEST(BehaviorSetTest, MultisetOutcomeIgnoresOrder) {
+  BehaviorSet B;
+  B.Done.insert({1, 2});
+  EXPECT_TRUE(B.hasDoneMultiset({2, 1}));
+  EXPECT_TRUE(B.hasDoneMultiset({1, 2}));
+  EXPECT_FALSE(B.hasDoneMultiset({1, 1}));
+  EXPECT_FALSE(B.hasDoneMultiset({1}));
+}
+
+TEST(BehaviorSetTest, MultisetHandlesDuplicates) {
+  BehaviorSet B;
+  B.Done.insert({3, 3, 1});
+  EXPECT_TRUE(B.hasDoneMultiset({3, 1, 3}));
+  EXPECT_FALSE(B.hasDoneMultiset({3, 1}));
+}
+
+TEST(BehaviorSetTest, AbortDetection) {
+  BehaviorSet B;
+  EXPECT_FALSE(B.anyAbort());
+  B.Abort.insert(Trace{}); // NB: insert({}) would insert an empty *list*
+  EXPECT_TRUE(B.anyAbort());
+}
+
+TEST(BehaviorSetTest, StrMentionsCutoffs) {
+  BehaviorSet B;
+  EXPECT_NE(B.str().find("exhaustive"), std::string::npos);
+  B.Exhausted = false;
+  EXPECT_NE(B.str().find("CUT OFF"), std::string::npos);
+}
+
+} // namespace
+} // namespace psopt

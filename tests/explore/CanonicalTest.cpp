@@ -1,0 +1,106 @@
+//===- tests/explore/CanonicalTest.cpp - Canonicalization properties -----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Canonical.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+MachineState stateOf(const char *Src) {
+  static std::vector<Program> Keep; // machines borrow the program
+  Keep.push_back(parseProgramOrDie(Src));
+  InterleavingMachine M(Keep.back(), StepConfig{});
+  return *M.initial();
+}
+
+TEST(CanonicalTest, InitialStateIsFixpoint) {
+  MachineState S = stateOf(R"(var x; func f { block 0: x.na := 1; ret; }
+                              thread f;)");
+  MachineState T = S;
+  canonicalizeState(T);
+  EXPECT_TRUE(S == T);
+}
+
+TEST(CanonicalTest, RenamesToSmallIntegers) {
+  MachineState S = stateOf(R"(var x; func f { block 0: x.na := 1; ret; }
+                              thread f;)");
+  VarId X("x");
+  S.Mem.insert(Message::concrete(X, 1, Time(7, 2), Time(19, 3), View{}));
+  S.Threads[0].V.Rlx.set(X, Time(19, 3));
+  canonicalizeState(S);
+  // Timestamps present: 0, 7/2, 19/3 → renamed to 0, 1, 2.
+  const Message &M = S.Mem.messages(X)[1];
+  EXPECT_EQ(M.From, Time(1));
+  EXPECT_EQ(M.To, Time(2));
+  EXPECT_EQ(S.Threads[0].V.Rlx.get(X), Time(2));
+}
+
+TEST(CanonicalTest, Idempotent) {
+  MachineState S = stateOf(R"(var x; func f { block 0: x.na := 1; ret; }
+                              thread f;)");
+  VarId X("x");
+  S.Mem.insert(Message::concrete(X, 1, Time(1, 3), Time(1, 2), View{}));
+  canonicalizeState(S);
+  MachineState T = S;
+  canonicalizeState(T);
+  EXPECT_TRUE(S == T);
+}
+
+TEST(CanonicalTest, PreservesOrderAndAdjacency) {
+  MachineState S = stateOf(R"(var x; func f { block 0: x.na := 1; ret; }
+                              thread f;)");
+  VarId X("x");
+  // Two adjacent messages (CAS chain shape) and one with a gap.
+  S.Mem.insert(Message::concrete(X, 1, Time(0), Time(1, 2), View{}));
+  S.Mem.insert(Message::concrete(X, 2, Time(1, 2), Time(3, 4), View{}));
+  S.Mem.insert(Message::concrete(X, 3, Time(5), Time(6), View{}));
+  canonicalizeState(S);
+  const auto &Ms = S.Mem.messages(X);
+  ASSERT_EQ(Ms.size(), 4u);
+  // Adjacency m1.To == m2.From preserved.
+  EXPECT_EQ(Ms[1].To, Ms[2].From);
+  // Gap between message 2 and 3 preserved.
+  EXPECT_LT(Ms[2].To, Ms[3].From);
+  // Order is intact.
+  EXPECT_LT(Ms[0].To, Ms[1].To);
+  EXPECT_LT(Ms[1].To, Ms[2].To);
+}
+
+TEST(CanonicalTest, StatesDifferingOnlyInTimestampsCollapse) {
+  MachineState A = stateOf(R"(var x; func f { block 0: x.na := 1; ret; }
+                              thread f;)");
+  MachineState B = A;
+  VarId X("x");
+  A.Mem.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
+  B.Mem.insert(Message::concrete(X, 1, Time(3, 2), Time(100), View{}));
+  canonicalizeState(A);
+  canonicalizeState(B);
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(CanonicalTest, MessageViewsAreRenamed) {
+  // z must be referenced so the initial memory covers it.
+  MachineState S = stateOf(R"(var x atomic; var z;
+                              func f { block 0: z.na := 1; x.rel := 1; ret; }
+                              thread f;)");
+  VarId X("x"), Z("z");
+  View MsgView;
+  MsgView.Rlx.set(Z, Time(7));
+  S.Mem.insert(Message::concrete(Z, 1, Time(5), Time(7), View{}));
+  S.Mem.insert(Message::concrete(X, 1, Time(1), Time(2), MsgView));
+  canonicalizeState(S);
+  const Message &XMsg = S.Mem.messages(X)[1];
+  const Message &ZMsg = S.Mem.messages(Z)[1];
+  // The view entry still names z's To-timestamp after renaming.
+  EXPECT_EQ(XMsg.MsgView.Rlx.get(Z), ZMsg.To);
+}
+
+} // namespace
+} // namespace psopt

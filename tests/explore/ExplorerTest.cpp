@@ -1,0 +1,110 @@
+//===- tests/explore/ExplorerTest.cpp - Explorer infrastructure tests ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(ExplorerTest, DeterministicAcrossRuns) {
+  Program P = parseProgramOrDie(R"(var x atomic;
+    func f { block 0: x.rlx := 1; r := x.rlx; print(r); ret; }
+    func g { block 0: x.rlx := 2; ret; }
+    thread f; thread g;)");
+  BehaviorSet A = exploreInterleaving(P);
+  BehaviorSet B = exploreInterleaving(P);
+  EXPECT_EQ(A.Done, B.Done);
+  EXPECT_EQ(A.Prefixes, B.Prefixes);
+  EXPECT_EQ(A.NodesVisited, B.NodesVisited);
+  EXPECT_EQ(A.Transitions, B.Transitions);
+}
+
+TEST(ExplorerTest, NodeBoundFlipsExhausted) {
+  Program P = parseProgramOrDie(R"(var x atomic;
+    func f { block 0: x.rlx := 1; x.rlx := 2; x.rlx := 3; ret; }
+    func g { block 0: r := x.rlx; r := x.rlx; ret; }
+    thread f; thread g;)");
+  ExploreConfig Tight;
+  Tight.MaxNodes = 5;
+  BehaviorSet B = exploreInterleaving(P, StepConfig{}, Tight);
+  EXPECT_FALSE(B.Exhausted);
+  BehaviorSet Full = exploreInterleaving(P);
+  EXPECT_TRUE(Full.Exhausted);
+}
+
+TEST(ExplorerTest, OutBoundTruncatesTraces) {
+  // An infinite printing loop: the MaxOuts bound cuts traces and reports
+  // non-exhaustiveness, but all shorter prefixes are collected.
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(7); jmp 0; } thread f;)");
+  ExploreConfig C;
+  C.MaxOuts = 3;
+  BehaviorSet B = exploreInterleaving(P, StepConfig{}, C);
+  EXPECT_FALSE(B.Exhausted);
+  EXPECT_TRUE(B.Prefixes.count(Trace{7, 7, 7}));
+  EXPECT_FALSE(B.Prefixes.count(Trace{7, 7, 7, 7}));
+  EXPECT_TRUE(B.Done.empty());
+}
+
+TEST(ExplorerTest, SpinLoopTerminatesViaCanonicalization) {
+  // The spinning reader revisits canonical states; exploration must
+  // terminate and report exhaustiveness (the loop simply never exits).
+  Program P = parseProgramOrDie(R"(var x atomic;
+    func f { block 0: r := x.rlx; be r == 0, 0, 1; block 1: print(r); ret; }
+    thread f;)");
+  BehaviorSet B = exploreInterleaving(P);
+  EXPECT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.Done.empty()); // x stays 0 forever: the loop never exits
+  EXPECT_EQ(B.Prefixes.size(), 1u);
+}
+
+TEST(ExplorerTest, PrefixesAreClosedUnderTruncation) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(1); print(2); ret; } thread f;)");
+  BehaviorSet B = exploreInterleaving(P);
+  // ε, [1], [1,2].
+  EXPECT_EQ(B.Prefixes.size(), 3u);
+  EXPECT_TRUE(B.Prefixes.count(Trace{}));
+  EXPECT_TRUE(B.Prefixes.count(Trace{1}));
+  EXPECT_TRUE(B.Prefixes.count(Trace{1, 2}));
+}
+
+TEST(ExplorerTest, StatsArePopulated) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(1); ret; } thread f;)");
+  BehaviorSet B = exploreInterleaving(P);
+  EXPECT_GT(B.NodesVisited, 0u);
+  EXPECT_GT(B.Transitions, 0u);
+  EXPECT_GT(B.UniqueStates, 0u);
+  EXPECT_LE(B.UniqueStates, B.NodesVisited);
+}
+
+TEST(ExplorerTest, PromiseBoundLimitsOutstanding) {
+  // With a two-promise budget the writer can publish both its stores early
+  // (see EquivalenceTest); with zero budget, promises are off entirely.
+  Program P = parseProgramOrDie(R"(var x;
+    func w { block 0: x.na := 1; x.na := 2; ret; }
+    func r { block 0: r1 := x.na; r2 := x.na; print(r1 * 10 + r2); ret; }
+    thread w; thread r;)");
+  StepConfig One;
+  One.EnablePromises = true;
+  One.MaxOutstandingPromises = 1;
+  StepConfig Two = One;
+  Two.MaxOutstandingPromises = 2;
+  BehaviorSet B1 = exploreInterleaving(P, One);
+  BehaviorSet B2 = exploreInterleaving(P, Two);
+  ASSERT_TRUE(B1.Exhausted && B2.Exhausted);
+  // More promise budget, more behaviors (or equal) — monotone.
+  for (const Trace &T : B1.Done)
+    EXPECT_TRUE(B2.Done.count(T));
+  EXPECT_GE(B2.Done.size(), B1.Done.size());
+}
+
+} // namespace
+} // namespace psopt

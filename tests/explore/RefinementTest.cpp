@@ -1,0 +1,136 @@
+//===- tests/explore/RefinementTest.cpp - Refinement checker tests --------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "explore/Refinement.h"
+#include "lang/Parser.h"
+#include "litmus/Litmus.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+BehaviorSet setOf(std::initializer_list<Trace> Done,
+                  std::initializer_list<Trace> Abort = {}) {
+  BehaviorSet B;
+  for (const Trace &T : Done) {
+    B.Done.insert(T);
+    for (std::size_t I = 0; I <= T.size(); ++I)
+      B.Prefixes.insert(Trace(T.begin(), T.begin() + I));
+  }
+  for (const Trace &T : Abort) {
+    B.Abort.insert(T);
+    for (std::size_t I = 0; I <= T.size(); ++I)
+      B.Prefixes.insert(Trace(T.begin(), T.begin() + I));
+  }
+  return B;
+}
+
+TEST(RefinementTest, SubsetHolds) {
+  BehaviorSet Src = setOf({{1}, {2}});
+  BehaviorSet Tgt = setOf({{1}});
+  EXPECT_TRUE(checkRefinement(Tgt, Src).Holds);
+  EXPECT_FALSE(checkRefinement(Src, Tgt).Holds);
+}
+
+TEST(RefinementTest, AbortMustBeMatched) {
+  BehaviorSet Src = setOf({{1}});
+  BehaviorSet Tgt = setOf({}, {{}});
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_NE(R.CounterExample.find("abort"), std::string::npos);
+}
+
+TEST(RefinementTest, PrefixMustBeMatched) {
+  BehaviorSet Src = setOf({{1, 2}});
+  BehaviorSet Tgt = setOf({{1, 2}});
+  Tgt.Prefixes.insert({1, 3}); // a prefix the source cannot produce
+  EXPECT_FALSE(checkRefinement(Tgt, Src).Holds);
+}
+
+TEST(RefinementTest, ExactnessPropagates) {
+  BehaviorSet Src = setOf({{1}});
+  BehaviorSet Tgt = setOf({{1}});
+  Tgt.Exhausted = false;
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_TRUE(R.Holds);
+  EXPECT_FALSE(R.Exact);
+}
+
+TEST(RefinementTest, EquivalenceIsSymmetricCheck) {
+  BehaviorSet A = setOf({{1}, {2}});
+  BehaviorSet B = setOf({{1}});
+  EXPECT_FALSE(checkEquivalence(A, B).Holds);
+  EXPECT_FALSE(checkEquivalence(B, A).Holds);
+  EXPECT_TRUE(checkEquivalence(A, A).Holds);
+}
+
+// --- End-to-end refinement on the paper's figure programs (E4, E5). ---------
+
+TEST(RefinementTest, Fig1AcquireHoistDoesNotRefine) {
+  StepConfig SC; // promises are irrelevant here
+  SC.EnablePromises = false;
+  BehaviorSet Src = exploreInterleaving(litmus("fig1_acq_src").Prog, SC);
+  BehaviorSet Tgt = exploreInterleaving(litmus("fig1_acq_tgt").Prog, SC);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_FALSE(R.Holds); // the hoisted read leaks 0
+  EXPECT_TRUE(R.Exact);
+}
+
+TEST(RefinementTest, Fig1RelaxedHoistRefines) {
+  StepConfig SC;
+  SC.EnablePromises = false;
+  BehaviorSet Src = exploreInterleaving(litmus("fig1_rlx_src").Prog, SC);
+  BehaviorSet Tgt = exploreInterleaving(litmus("fig1_rlx_tgt").Prog, SC);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(RefinementTest, Fig15BadDceDoesNotRefine) {
+  BehaviorSet Src = exploreInterleaving(litmus("fig15_src").Prog);
+  BehaviorSet Tgt = exploreInterleaving(litmus("fig15_tgt_bad").Prog);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(RefinementTest, Fig16DceRefines) {
+  BehaviorSet Src = exploreInterleaving(litmus("fig16_src").Prog);
+  BehaviorSet Tgt = exploreInterleaving(litmus("fig16_tgt").Prog);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(RefinementTest, Fig5LInvRefinesDespiteRwRace) {
+  BehaviorSet Src = exploreInterleaving(litmus("fig5_src").Prog);
+  BehaviorSet Tgt = exploreInterleaving(litmus("fig5_tgt").Prog);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(RefinementTest, ReorderRefinesWithPromises) {
+  StepConfig SC;
+  SC.EnablePromises = true;
+  BehaviorSet Src = exploreInterleaving(litmus("reorder_src").Prog, SC);
+  BehaviorSet Tgt = exploreInterleaving(litmus("reorder_tgt").Prog, SC);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(RefinementTest, ReorderDoesNotRefineWithoutPromises) {
+  // Fig 3's lesson: without promises the source cannot match the reordered
+  // target's {2,2} outcome — showing the promise machinery is what makes
+  // the reordering sound.
+  StepConfig SC;
+  SC.EnablePromises = false;
+  BehaviorSet Src = exploreInterleaving(litmus("reorder_src").Prog, SC);
+  BehaviorSet Tgt = exploreInterleaving(litmus("reorder_tgt").Prog, SC);
+  RefinementResult R = checkRefinement(Tgt, Src);
+  EXPECT_FALSE(R.Holds);
+}
+
+} // namespace
+} // namespace psopt

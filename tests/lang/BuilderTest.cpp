@@ -1,0 +1,97 @@
+//===- tests/lang/BuilderTest.cpp - FunctionBuilder tests ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builder.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "lang/Validate.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+using namespace dsl;
+
+TEST(BuilderTest, BuildsTheSameProgramAsTheParser) {
+  // The builder and the parser are two front ends for one IR: building the
+  // message-passing producer by hand must equal parsing it.
+  VarId Data("bt_data"), Flag("bt_flag");
+  RegId R("bt_r");
+
+  FunctionBuilder FB;
+  FB.startBlock(0)
+      .store(Data, 42, WriteMode::NA)
+      .store(Flag, 1, WriteMode::REL)
+      .ret();
+  FunctionBuilder GB;
+  GB.startBlock(0).load(R, Flag, ReadMode::ACQ).print(reg(R)).ret();
+
+  Program P;
+  P.addAtomic(Flag);
+  P.setFunction(FuncId("bt_p"), FB.take());
+  P.setFunction(FuncId("bt_c"), GB.take());
+  P.addThread(FuncId("bt_p"));
+  P.addThread(FuncId("bt_c"));
+
+  Program Q = parseProgramOrDie(R"(
+    var bt_data; var bt_flag atomic;
+    func bt_p { block 0: bt_data.na := 42; bt_flag.rel := 1; ret; }
+    func bt_c { block 0: bt_r := bt_flag.acq; print(bt_r); ret; }
+    thread bt_p; thread bt_c;
+  )");
+  EXPECT_TRUE(P == Q) << printProgram(P) << "\nvs\n" << printProgram(Q);
+}
+
+TEST(BuilderTest, FirstBlockBecomesEntry) {
+  FunctionBuilder FB;
+  FB.startBlock(7).ret();
+  Function F = FB.take();
+  EXPECT_EQ(F.entry(), 7u);
+}
+
+TEST(BuilderTest, ExplicitEntryOverride) {
+  FunctionBuilder FB;
+  FB.startBlock(0).jmp(1);
+  FB.startBlock(1).ret();
+  FB.setEntry(1);
+  Function F = FB.take();
+  EXPECT_EQ(F.entry(), 1u);
+}
+
+TEST(BuilderTest, AllInstructionForms) {
+  VarId X("bt_x"), A("bt_a");
+  RegId R1("bt_r1"), R2("bt_r2");
+  FunctionBuilder FB;
+  FB.startBlock(0)
+      .assign(R1, 5)
+      .assign(R2, add(reg(R1), cst(1)))
+      .load(R1, X, ReadMode::NA)
+      .store(X, reg(R2), WriteMode::NA)
+      .cas(R2, A, cst(0), cst(1), ReadMode::ACQ, WriteMode::REL)
+      .skip()
+      .print(reg(R2))
+      .be(lt(reg(R1), cst(3)), 1, 2);
+  FB.startBlock(1).call(FuncId("bt_callee"), 2);
+  FB.startBlock(2).ret();
+  Function F = FB.take();
+  EXPECT_EQ(F.block(0).size(), 7u);
+  EXPECT_TRUE(F.block(0).terminator().isBe());
+  EXPECT_TRUE(F.block(1).terminator().isCall());
+}
+
+TEST(BuilderTest, BuiltProgramsValidate) {
+  VarId X("bt_vx");
+  FunctionBuilder FB;
+  FB.startBlock(0).store(X, 1, WriteMode::NA).ret();
+  Program P;
+  P.setFunction(FuncId("bt_vf"), FB.take());
+  P.addThread(FuncId("bt_vf"));
+  EXPECT_TRUE(isValidProgram(P));
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,103 @@
+//===- tests/lang/InstrTest.cpp - Instruction tests --------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builder.h"
+#include "lang/Instr.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+using namespace dsl;
+
+TEST(InstrTest, LoadAccessors) {
+  RegId R("it_r");
+  VarId X("it_x");
+  Instr I = Instr::makeLoad(R, X, ReadMode::ACQ);
+  EXPECT_TRUE(I.isLoad());
+  EXPECT_TRUE(I.accessesMemory());
+  EXPECT_TRUE(I.isAtomicAccess());
+  EXPECT_EQ(I.dest(), R);
+  EXPECT_EQ(I.var(), X);
+  EXPECT_EQ(I.readMode(), ReadMode::ACQ);
+  EXPECT_EQ(I.definedReg().value(), R);
+  EXPECT_TRUE(I.usedRegs().empty());
+}
+
+TEST(InstrTest, NonAtomicAccessClassification) {
+  VarId X("it_y");
+  EXPECT_FALSE(Instr::makeLoad(RegId("it_r2"), X, ReadMode::NA)
+                   .isAtomicAccess());
+  EXPECT_FALSE(Instr::makeStore(X, cst(1), WriteMode::NA).isAtomicAccess());
+  EXPECT_TRUE(Instr::makeStore(X, cst(1), WriteMode::REL).isAtomicAccess());
+  EXPECT_TRUE(Instr::makeStore(X, cst(1), WriteMode::RLX).isAtomicAccess());
+  EXPECT_FALSE(Instr::makeSkip().isAtomicAccess());
+  EXPECT_FALSE(Instr::makeAssign(RegId("it_r3"), cst(1)).isAtomicAccess());
+  // CAS is always an atomic access.
+  EXPECT_TRUE(Instr::makeCas(RegId("it_r4"), X, cst(0), cst(1), ReadMode::RLX,
+                             WriteMode::RLX)
+                  .isAtomicAccess());
+}
+
+TEST(InstrTest, UsedRegs) {
+  RegId R1("it_u1"), R2("it_u2"), D("it_d");
+  VarId X("it_z");
+  Instr Store = Instr::makeStore(X, add(reg(R1), reg(R2)), WriteMode::NA);
+  EXPECT_EQ(Store.usedRegs().size(), 2u);
+  EXPECT_FALSE(Store.definedReg().has_value());
+
+  Instr Cas = Instr::makeCas(D, X, reg(R1), reg(R2), ReadMode::RLX,
+                             WriteMode::RLX);
+  auto Used = Cas.usedRegs();
+  EXPECT_TRUE(Used.count(R1));
+  EXPECT_TRUE(Used.count(R2));
+  EXPECT_EQ(Cas.definedReg().value(), D);
+}
+
+TEST(InstrTest, Equality) {
+  VarId X("it_e");
+  Instr A = Instr::makeStore(X, cst(1), WriteMode::NA);
+  Instr B = Instr::makeStore(X, cst(1), WriteMode::NA);
+  Instr C = Instr::makeStore(X, cst(2), WriteMode::NA);
+  Instr D = Instr::makeStore(X, cst(1), WriteMode::RLX);
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A == C);
+  EXPECT_FALSE(A == D);
+  EXPECT_EQ(Instr::makeSkip(), Instr::makeSkip());
+}
+
+TEST(InstrTest, StrRendering) {
+  VarId X("it_s");
+  RegId R("it_sr");
+  EXPECT_EQ(Instr::makeLoad(R, X, ReadMode::RLX).str(), "it_sr := it_s.rlx");
+  EXPECT_EQ(Instr::makeStore(X, cst(4), WriteMode::REL).str(),
+            "it_s.rel := 4");
+  EXPECT_EQ(Instr::makeSkip().str(), "skip");
+}
+
+TEST(TerminatorTest, SuccessorsAndEquality) {
+  Terminator J = Terminator::makeJmp(3);
+  EXPECT_EQ(J.successors(), std::vector<BlockLabel>{3});
+
+  Terminator B = Terminator::makeBe(cst(1), 1, 2);
+  EXPECT_EQ(B.successors().size(), 2u);
+  Terminator BSame = Terminator::makeBe(cst(1), 4, 4);
+  EXPECT_EQ(BSame.successors().size(), 1u); // deduplicated
+
+  Terminator R = Terminator::makeRet();
+  EXPECT_TRUE(R.successors().empty());
+
+  Terminator C = Terminator::makeCall(FuncId("it_f"), 7);
+  EXPECT_EQ(C.successors(), std::vector<BlockLabel>{7});
+  EXPECT_EQ(C.callee(), FuncId("it_f"));
+
+  EXPECT_EQ(J, Terminator::makeJmp(3));
+  EXPECT_FALSE(J == Terminator::makeJmp(4));
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,166 @@
+//===- tests/lang/ParserTest.cpp - Parser and printer tests ------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "litmus/Litmus.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(ParserTest, MinimalProgram) {
+  ParseResult R = parseProgram(R"(
+    var x atomic;
+    func main { block 0: r := x.rlx; print(r); ret; }
+    thread main;
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.threadCount(), 1u);
+  EXPECT_TRUE(P.isAtomic(VarId("x")));
+  const Function &F = P.function(FuncId("main"));
+  EXPECT_EQ(F.entry(), 0u);
+  EXPECT_EQ(F.block(0).size(), 2u);
+  EXPECT_TRUE(F.block(0).terminator().isRet());
+}
+
+TEST(ParserTest, AllInstructionForms) {
+  ParseResult R = parseProgram(R"(
+    var x atomic; var y;
+    func f {
+    block 0:
+      skip;
+      r1 := 5;
+      r2 := r1 + 2 * r1;
+      y.na := r2 - 1;
+      r3 := x.acq;
+      x.rel := 0;
+      r4 := cas(x, 0, 1, acq, rel);
+      print(r4);
+      be r1 < 10, 1, 2;
+    block 1: jmp 2;
+    block 2: call g, 3;
+    block 3: ret;
+    }
+    func g { block 0: ret; }
+    thread f;
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const BasicBlock &B = R.Prog->function(FuncId("f")).block(0);
+  ASSERT_EQ(B.size(), 8u);
+  EXPECT_TRUE(B.instructions()[0].isSkip());
+  EXPECT_TRUE(B.instructions()[1].isAssign());
+  EXPECT_TRUE(B.instructions()[3].isStore());
+  EXPECT_TRUE(B.instructions()[4].isLoad());
+  EXPECT_EQ(B.instructions()[4].readMode(), ReadMode::ACQ);
+  EXPECT_TRUE(B.instructions()[6].isCas());
+  EXPECT_EQ(B.instructions()[6].writeMode(), WriteMode::REL);
+  EXPECT_TRUE(B.terminator().isBe());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Program P = parseProgramOrDie(R"(
+    var d;
+    func f { block 0: r := 2 + 3 * 4; d.na := r; ret; }
+    thread f;
+  )");
+  const Instr &I = P.function(FuncId("f")).block(0).instructions()[0];
+  EXPECT_EQ(I.expr()->evalConst().value(), 14);
+}
+
+TEST(ParserTest, NegativeLiterals) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(-1); ret; }
+    thread f;
+  )");
+  const Instr &I = P.function(FuncId("f")).block(0).instructions()[0];
+  EXPECT_EQ(I.expr()->evalConst().value(), -1);
+}
+
+TEST(ParserTest, CommentsAreIgnored) {
+  ParseResult R = parseProgram(R"(
+    # a comment
+    var x; # trailing comment
+    func f { block 0: x.na := 1; ret; }
+    thread f;
+  )");
+  EXPECT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(ParserTest, ErrorUndeclaredVariableAsLocation) {
+  ParseResult R = parseProgram(R"(
+    func f { block 0: zz.na := 1; ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("zz"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorVariableUsedAsRegister) {
+  ParseResult R = parseProgram(R"(
+    var x;
+    func f { block 0: r := x + 1; ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorBadMode) {
+  ParseResult R = parseProgram(R"(
+    var x atomic;
+    func f { block 0: r := x.rel; ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorMissingTerminator) {
+  ParseResult R = parseProgram(R"(
+    var x;
+    func f { block 0: x.na := 1; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorDuplicateBlockLabel) {
+  ParseResult R = parseProgram(R"(
+    func f { block 0: ret; block 0: ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorReportsLine) {
+  ParseResult R = parseProgram("var x;\nfunc f { block 0:\n  oops!\n ret; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+// Round-trip: print ∘ parse on every litmus program is identity.
+class PrinterRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParse) {
+  const Program &P = litmus(GetParam()).Prog;
+  std::string Printed = printProgram(P);
+  ParseResult R = parseProgram(Printed);
+  ASSERT_TRUE(R.ok()) << "re-parse failed: " << R.Error << "\n" << Printed;
+  EXPECT_TRUE(*R.Prog == P) << Printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLitmus, PrinterRoundTrip, [] {
+      std::vector<std::string> Names;
+      for (const LitmusTest &T : allLitmusTests())
+        Names.push_back(T.Name);
+      return ::testing::ValuesIn(Names);
+    }(),
+    [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,93 @@
+//===- tests/lang/ValidateTest.cpp - Validator tests --------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Validate.h"
+#include "litmus/Litmus.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(ValidateTest, LitmusProgramsAreValid) {
+  for (const LitmusTest &T : allLitmusTests())
+    EXPECT_TRUE(isValidProgram(T.Prog)) << T.Name;
+}
+
+TEST(ValidateTest, RejectsAtomicAccessOnNonAtomicVar) {
+  // The parser allows any declared var in memory position; mode discipline
+  // is the validator's job.
+  Program P = parseProgramOrDie(R"(
+    var x;
+    func f { block 0: x.rel := 1; ret; }
+    thread f;
+  )");
+  auto Errs = validateProgram(P);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].Message.find("atomic write of non-atomic"),
+            std::string::npos);
+}
+
+TEST(ValidateTest, RejectsNonAtomicAccessOnAtomicVar) {
+  Program P = parseProgramOrDie(R"(
+    var x atomic;
+    func f { block 0: r := x.na; ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsCasOnNonAtomicVar) {
+  Program P = parseProgramOrDie(R"(
+    var x;
+    func f { block 0: r := cas(x, 0, 1, rlx, rlx); ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsDanglingJump) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: jmp 9; }
+    thread f;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsDanglingBranchTarget) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: be 1, 0, 5; }
+    thread f;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsCallToUndefinedFunction) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: call nothere, 1; block 1: ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsUndefinedThreadEntry) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: ret; }
+    thread f; thread ghost;
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+TEST(ValidateTest, RejectsEmptyThreadList) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: ret; }
+  )");
+  EXPECT_FALSE(isValidProgram(P));
+}
+
+} // namespace
+} // namespace psopt

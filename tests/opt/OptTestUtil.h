@@ -1,0 +1,56 @@
+//===- tests/opt/OptTestUtil.h - Shared helpers for pass tests --*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_TESTS_OPT_OPTTESTUTIL_H
+#define PSOPT_TESTS_OPT_OPTTESTUTIL_H
+
+#include "explore/Explorer.h"
+#include "explore/Refinement.h"
+#include "lang/Printer.h"
+#include "lang/Validate.h"
+#include "opt/Pass.h"
+#include "race/WWRace.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+
+/// Runs \p OptPass on \p Src and checks the full Def 6.4 contract:
+/// the target validates, refines the source, and (Lm 6.2) stays
+/// write-write race free when the source is.
+inline void expectPassCorrect(const Pass &OptPass, const Program &Src,
+                              const StepConfig &SC = StepConfig{}) {
+  Program Tgt = OptPass.run(Src);
+  EXPECT_TRUE(isValidProgram(Tgt))
+      << OptPass.name() << " produced invalid code:\n" << printProgram(Tgt);
+
+  BehaviorSet SrcB = exploreInterleaving(Src, SC);
+  BehaviorSet TgtB = exploreInterleaving(Tgt, SC);
+  ASSERT_TRUE(SrcB.Exhausted && TgtB.Exhausted) << "exploration cut off";
+  RefinementResult R = checkRefinement(TgtB, SrcB);
+  EXPECT_TRUE(R.Holds) << OptPass.name() << ": " << R.CounterExample
+                       << "\ntarget:\n" << printProgram(Tgt)
+                       << "\nsource behaviors:\n" << SrcB.str()
+                       << "target behaviors:\n" << TgtB.str();
+
+  RaceCheckResult SrcRace = checkWWRaceFreedom(Src, SC);
+  if (SrcRace.RaceFree) {
+    RaceCheckResult TgtRace = checkWWRaceFreedom(Tgt, SC);
+    EXPECT_TRUE(TgtRace.RaceFree)
+        << OptPass.name() << " broke ww-RF: "
+        << (TgtRace.Witness ? TgtRace.Witness->Description : std::string());
+  }
+}
+
+/// The function named "f" of \p P, for shape assertions (interned-id map
+/// order is not source order, so "first" must be by name).
+inline const Function &firstFunction(const Program &P) {
+  return P.function(FuncId("f"));
+}
+
+} // namespace psopt
+
+#endif // PSOPT_TESTS_OPT_OPTTESTUTIL_H

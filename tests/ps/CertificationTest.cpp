@@ -1,0 +1,146 @@
+//===- tests/ps/CertificationTest.cpp - Promise certification tests -------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "ps/Certification.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+struct StepEnv {
+  Program P;
+  ThreadState TS;
+  Memory M;
+
+  explicit StepEnv(const std::string &Src) {
+    P = parseProgramOrDie(Src);
+    std::set<VarId> Vars = P.referencedVars();
+    for (VarId X : P.atomics())
+      Vars.insert(X);
+    M = Memory::initial(Vars);
+    TS.Local = *LocalState::start(P, P.threads()[0]);
+  }
+
+  void addPromise(const char *Var, Val V, Time From, Time To) {
+    Message Prm = Message::concrete(VarId(Var), V, From, To, View{});
+    Prm.Owner = 0;
+    Prm.IsPromise = true;
+    M.insert(Prm);
+  }
+};
+
+TEST(CertificationTest, NoPromisesTriviallyConsistent) {
+  StepEnv S(R"(var x; func f { block 0: x.na := 1; ret; } thread f;)");
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, FulfillablePromiseIsConsistent) {
+  StepEnv S(R"(var x; func f { block 0: x.na := 1; ret; } thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, WrongValuePromiseInconsistent) {
+  StepEnv S(R"(var x; func f { block 0: x.na := 1; ret; } thread f;)");
+  S.addPromise("x", 9, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, WrongLocationPromiseInconsistent) {
+  StepEnv S(R"(var x; var y;
+             func f { block 0: x.na := 1; ret; } thread f;)");
+  S.addPromise("y", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, PromiseBehindBranchIsConsistentIfReachableInIsolation) {
+  // The thread writes x only when it reads y == 0; in isolation y's initial
+  // message 0 is readable, so the promise certifies.
+  StepEnv S(R"(var x; var y atomic;
+             func f { block 0: r := y.rlx; be r == 0, 1, 2;
+                      block 1: x.na := 1; ret;
+                      block 2: ret; }
+             thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, OutOfThinAirPromiseRejected) {
+  // §2.1: t1 of (LB) with y := r1 cannot promise y = 1 — running in
+  // isolation it reads x = 0 and can only write y = 0.
+  StepEnv S(R"(var x atomic; var y atomic;
+             func f { block 0: r1 := x.rlx; y.rlx := r1; ret; }
+             thread f;)");
+  S.addPromise("y", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, LbPromiseCertifies) {
+  // §2.1: t1 of (LB) with the constant write y := 1 certifies its promise.
+  StepEnv S(R"(var x atomic; var y atomic;
+             func f { block 0: r1 := x.rlx; y.rlx := 1; ret; }
+             thread f;)");
+  S.addPromise("y", 1, Time(1), Time(2));
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, CertificationIgnoresOtherThreadsWrites) {
+  // The promise's certification runs in isolation: even though another
+  // thread *could* write y = 5 at run time, the capped memory only offers
+  // what is already there.
+  StepEnv S(R"(var x; var y atomic;
+             func f { block 0: r := y.rlx; be r == 5, 1, 2;
+                      block 1: x.na := 1; ret;
+                      block 2: ret; }
+             func g { block 0: y.rlx := 5; ret; }
+             thread f; thread g;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, CasSuccessCannotBeAssumedDuringCertification) {
+  // §2.1/§3: the capped memory blocks CAS success, so a promise whose
+  // fulfilment sits behind a successful CAS does not certify.
+  StepEnv S(R"(var x; var l atomic;
+             func f { block 0: r := cas(l, 0, 1, rlx, rlx); be r == 1, 1, 2;
+                      block 1: x.na := 1; ret;
+                      block 2: ret; }
+             thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, PromiseBehindOwnRelaxedWriteCertifies) {
+  // Fulfilment may require executing earlier writes first (fresh appends go
+  // beyond the cap).
+  StepEnv S(R"(var x; var y;
+             func f { block 0: y.na := 7; x.na := 1; ret; } thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, TerminatedThreadWithPromiseInconsistent) {
+  StepEnv S(R"(var x; func f { block 0: ret; } thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+TEST(CertificationTest, SpinLoopInCertificationTerminates) {
+  // The certification search must terminate on a thread that can spin
+  // forever (memoized states), and report failure: the promise on x is
+  // behind an exit the isolated run cannot take.
+  StepEnv S(R"(var x; var y atomic;
+             func f { block 0: r := y.rlx; be r == 0, 0, 1;
+                      block 1: x.na := 1; ret; }
+             thread f;)");
+  S.addPromise("x", 1, Time(1), Time(2));
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, StepConfig{}));
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,146 @@
+//===- tests/ps/MemoryModelTest.cpp - Memory-model regression tests ----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Focused regressions on the trickier corners of the PS2.1 implementation:
+/// promise visibility, release-view contents, CAS chains, and view
+/// monotonicity along executions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+// Other threads can read a promise before it is fulfilled (the LB
+// mechanism, §2.1) — here made visible with an explicit ordering print.
+TEST(MemoryModelTest, PromisesAreReadableByOthers) {
+  Program P = parseProgramOrDie(R"(var y atomic; var x atomic;
+    func t1 { block 0: r1 := x.rlx; y.rlx := 1; ret; }
+    func t2 { block 0: r2 := y.rlx; x.rlx := r2; print(r2); ret; }
+    thread t1; thread t2;)");
+  StepConfig SC;
+  SC.EnablePromises = true;
+  BehaviorSet B = exploreInterleaving(P, SC);
+  ASSERT_TRUE(B.Exhausted);
+  // t2 printing 1 means it read y = 1, possible only via t1's promise
+  // (t1's actual write happens after reading x, and x = 1 needs t2 first).
+  EXPECT_TRUE(B.hasDone({1}));
+}
+
+// A CAS chain: each CAS must read the previous one's write exactly
+// (from = to), so the final value is deterministic per-location order.
+TEST(MemoryModelTest, CasChainIsLinear) {
+  Program P = parseProgramOrDie(R"(var c atomic;
+    func f { block 0: r1 := cas(c, 0, 1, rlx, rlx);
+                      r2 := cas(c, 1, 2, rlx, rlx);
+                      print(r1 * 10 + r2); ret; }
+    thread f;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({11}));
+  EXPECT_EQ(B.Done.size(), 1u); // both succeed, deterministically
+}
+
+// Three-way CAS race on one cell: exactly one of three succeeds.
+TEST(MemoryModelTest, ThreeWayCasRace) {
+  Program P = parseProgramOrDie(R"(var c atomic;
+    func f { block 0: r := cas(c, 0, 1, rlx, rlx); print(r); ret; }
+    func g { block 0: r := cas(c, 0, 1, rlx, rlx); print(r); ret; }
+    func h { block 0: r := cas(c, 0, 1, rlx, rlx); print(r); ret; }
+    thread f; thread g; thread h;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDoneMultiset({1, 0, 0}));
+  EXPECT_FALSE(B.hasDoneMultiset({1, 1, 0}));
+  EXPECT_FALSE(B.hasDoneMultiset({1, 1, 1}));
+  EXPECT_FALSE(B.hasDoneMultiset({0, 0, 0}));
+}
+
+// The release view covers everything the writer saw — including values it
+// read from third parties, not just its own writes (view inheritance).
+TEST(MemoryModelTest, ReleaseViewIsTransitive) {
+  Program P = parseProgramOrDie(R"(var d; var f1 atomic; var f2 atomic;
+    func a { block 0: d.na := 7; f1.rel := 1; ret; }
+    func b { block 0: r := f1.acq; be r == 1, 1, 2;
+             block 1: f2.rel := 1; ret;
+             block 2: ret; }
+    func c { block 0: r := f2.acq; be r == 1, 1, 2;
+             block 1: v := d.na; print(v); ret;
+             block 2: print(-1); ret; }
+    thread a; thread b; thread c;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({7}));
+  EXPECT_FALSE(B.hasDone({0})); // acq-rel chain forces visibility
+}
+
+// A relaxed link in the chain breaks the guarantee.
+TEST(MemoryModelTest, RelaxedLinkBreaksTransitivity) {
+  Program P = parseProgramOrDie(R"(var d; var f1 atomic; var f2 atomic;
+    func a { block 0: d.na := 7; f1.rlx := 1; ret; }
+    func b { block 0: r := f1.rlx; be r == 1, 1, 2;
+             block 1: f2.rel := 1; ret;
+             block 2: ret; }
+    func c { block 0: r := f2.acq; be r == 1, 1, 2;
+             block 1: v := d.na; print(v); ret;
+             block 2: print(-1); ret; }
+    thread a; thread b; thread c;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({0})); // stale read becomes possible
+  EXPECT_TRUE(B.hasDone({7}));
+}
+
+// A thread always observes its own writes (view advances on writes).
+TEST(MemoryModelTest, SelfReadsSeeOwnLatestWrite) {
+  Program P = parseProgramOrDie(R"(var x;
+    func f { block 0: x.na := 1; x.na := 2; r := x.na; print(r); ret; }
+    thread f;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({2}));
+  EXPECT_EQ(B.Done.size(), 1u);
+}
+
+// Reads never go backwards: after reading a new rlx message, re-reading an
+// older one is impossible.
+TEST(MemoryModelTest, RlxReadMonotone) {
+  Program P = parseProgramOrDie(R"(var x atomic;
+    func w { block 0: x.rlx := 1; ret; }
+    func r { block 0: r1 := x.rlx; r2 := x.rlx; r3 := x.rlx;
+             print(r1 * 100 + r2 * 10 + r3); ret; }
+    thread w; thread r;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  for (const Trace &T : B.Done) {
+    Val V = T[0];
+    Val R1 = V / 100, R2 = (V / 10) % 10, R3 = V % 10;
+    EXPECT_LE(R1, R2);
+    EXPECT_LE(R2, R3);
+  }
+}
+
+// Two releases on different locations: an acquire of the *second* does not
+// leak the first thread's payload (no global synchronization).
+TEST(MemoryModelTest, ReleasesAreticPerLocation) {
+  Program P = parseProgramOrDie(R"(var d; var f1 atomic; var f2 atomic;
+    func a { block 0: d.na := 7; f1.rel := 1; ret; }
+    func b { block 0: f2.rel := 1; ret; }
+    func c { block 0: r := f2.acq; be r == 1, 1, 2;
+             block 1: v := d.na; print(v); ret;
+             block 2: print(-1); ret; }
+    thread a; thread b; thread c;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({0})); // b's release says nothing about d
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,180 @@
+//===- tests/ps/MemoryTest.cpp - Memory and placement tests --------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/Memory.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+protected:
+  VarId X{std::string("mt_x")};
+  Memory M = Memory::initial({VarId("mt_x")});
+};
+
+TEST_F(MemoryTest, InitialMessage) {
+  ASSERT_EQ(M.messages(X).size(), 1u);
+  const Message &Init = M.messages(X)[0];
+  EXPECT_TRUE(Init.isConcrete());
+  EXPECT_EQ(Init.Value, 0);
+  EXPECT_EQ(Init.From, Time(0));
+  EXPECT_EQ(Init.To, Time(0));
+}
+
+TEST_F(MemoryTest, InsertKeepsSortedOrder) {
+  M.insert(Message::concrete(X, 2, Time(4), Time(5), View{}));
+  M.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
+  ASSERT_EQ(M.messages(X).size(), 3u);
+  EXPECT_EQ(M.messages(X)[1].Value, 1);
+  EXPECT_EQ(M.messages(X)[2].Value, 2);
+}
+
+TEST_F(MemoryTest, FindConcrete) {
+  M.insert(Message::concrete(X, 9, Time(1), Time(2), View{}));
+  ASSERT_NE(M.findConcrete(X, Time(2)), nullptr);
+  EXPECT_EQ(M.findConcrete(X, Time(2))->Value, 9);
+  EXPECT_EQ(M.findConcrete(X, Time(3)), nullptr);
+  M.insert(Message::reservation(X, Time(5), Time(6), 0));
+  EXPECT_EQ(M.findConcrete(X, Time(6)), nullptr); // reservation, not concrete
+  EXPECT_NE(M.find(X, Time(6)), nullptr);
+}
+
+TEST_F(MemoryTest, ReadableRespectsBound) {
+  M.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
+  M.insert(Message::concrete(X, 2, Time(3), Time(4), View{}));
+  EXPECT_EQ(M.readable(X, Time(0)).size(), 3u);
+  EXPECT_EQ(M.readable(X, Time(2)).size(), 2u);
+  EXPECT_EQ(M.readable(X, Time(4)).size(), 1u);
+}
+
+TEST_F(MemoryTest, PlacementsRespectViewBound) {
+  M.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  // Gap (0,2) plus the append slot; with a view at 0 both are usable.
+  auto Ps = M.enumeratePlacements(X, Time(0));
+  ASSERT_EQ(Ps.size(), 2u);
+  // Every placement must have To > bound and lie outside existing intervals.
+  for (const Placement &P : Ps) {
+    EXPECT_LT(P.From, P.To);
+    EXPECT_GT(P.To, Time(0));
+  }
+  // With the view at 3 (past the gap), only the append slot remains.
+  auto Ps2 = M.enumeratePlacements(X, Time(3));
+  ASSERT_EQ(Ps2.size(), 1u);
+  EXPECT_GT(Ps2[0].To, Time(3));
+}
+
+TEST_F(MemoryTest, PlacementUsesUpperGapPartWhenViewInsideGap) {
+  M.insert(Message::concrete(X, 1, Time(4), Time(5), View{}));
+  // Gap (0,4); view at 2: the placement must satisfy To > 2.
+  auto Ps = M.enumeratePlacements(X, Time(2));
+  ASSERT_EQ(Ps.size(), 2u);
+  EXPECT_GT(Ps[0].To, Time(2));
+  EXPECT_LT(Ps[0].To, Time(4));
+}
+
+TEST_F(MemoryTest, PlacementsSplitGapsLeavingRoom) {
+  M.insert(Message::concrete(X, 1, Time(3), Time(4), View{}));
+  auto Ps = M.enumeratePlacements(X, Time(0));
+  // Gap placement leaves room on both sides: 0 < From < To < 3.
+  EXPECT_GT(Ps[0].From, Time(0));
+  EXPECT_LT(Ps[0].To, Time(3));
+  // Append placement leaves a unit gap after the last message.
+  EXPECT_GT(Ps[1].From, Time(4));
+}
+
+TEST_F(MemoryTest, ReservationsBlockPlacements) {
+  M.insert(Message::concrete(X, 1, Time(4), Time(5), View{}));
+  M.insert(Message::reservation(X, Time(0), Time(4), 0));
+  auto Ps = M.enumeratePlacements(X, Time(0));
+  // The gap is reserved: only the append slot remains.
+  ASSERT_EQ(Ps.size(), 1u);
+  EXPECT_GT(Ps[0].From, Time(5));
+}
+
+TEST_F(MemoryTest, CasPlacementForcedFrom) {
+  M.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  auto Pl = M.casPlacement(X, Time(0));
+  ASSERT_TRUE(Pl.has_value());
+  EXPECT_EQ(Pl->From, Time(0));
+  EXPECT_LT(Pl->To, Time(2)); // fits in the gap before the next message
+  auto Pl2 = M.casPlacement(X, Time(3)); // last message: unit slot
+  ASSERT_TRUE(Pl2.has_value());
+  EXPECT_EQ(Pl2->From, Time(3));
+}
+
+TEST_F(MemoryTest, CasPlacementBlockedByAdjacentMessage) {
+  M.insert(Message::concrete(X, 1, Time(0), Time(1), View{}));
+  // A message starting exactly at To = 0 blocks a CAS on the initial write.
+  EXPECT_FALSE(M.casPlacement(X, Time(0)).has_value());
+}
+
+TEST_F(MemoryTest, PromiseBookkeeping) {
+  Message Prm = Message::concrete(X, 7, Time(1), Time(2), View{});
+  Prm.Owner = 1;
+  Prm.IsPromise = true;
+  M.insert(Prm);
+  EXPECT_TRUE(M.hasConcretePromises(1));
+  EXPECT_FALSE(M.hasConcretePromises(0));
+  EXPECT_TRUE(M.hasPromiseOn(1, X));
+  EXPECT_EQ(M.promisesOf(1).size(), 1u);
+
+  M.fulfillPromise(X, Time(2), View{});
+  EXPECT_FALSE(M.hasConcretePromises(1));
+  EXPECT_EQ(M.findConcrete(X, Time(2))->Value, 7);
+}
+
+TEST_F(MemoryTest, CappedMemoryFillsGapsAndCaps) {
+  M.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  Memory Capped = M.capped(0);
+  // init(0,0], reservation(0,2], msg(2,3], cap(3,4].
+  ASSERT_EQ(Capped.messages(X).size(), 4u);
+  EXPECT_TRUE(Capped.messages(X)[1].isReservation());
+  EXPECT_EQ(Capped.messages(X)[1].From, Time(0));
+  EXPECT_EQ(Capped.messages(X)[1].To, Time(2));
+  const Message &Cap = Capped.messages(X)[3];
+  EXPECT_TRUE(Cap.isReservation());
+  EXPECT_EQ(Cap.From, Time(3));
+  EXPECT_EQ(Cap.To, Time(4));
+  EXPECT_EQ(Cap.Owner, NoTid);
+}
+
+TEST_F(MemoryTest, CappedMemoryBlocksCas) {
+  // After capping, every concrete message has an adjacent reservation, so
+  // no CAS can succeed — the §3 certification argument.
+  M.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  Memory Capped = M.capped(0);
+  EXPECT_FALSE(Capped.casPlacement(X, Time(0)).has_value());
+  EXPECT_FALSE(Capped.casPlacement(X, Time(3)).has_value());
+}
+
+TEST_F(MemoryTest, CappedMemoryOnlyAllowsAppends) {
+  M.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  Memory Capped = M.capped(0);
+  auto Ps = Capped.enumeratePlacements(X, Time(0));
+  ASSERT_EQ(Ps.size(), 1u);
+  EXPECT_GT(Ps[0].From, Time(4)); // beyond the cap
+}
+
+TEST_F(MemoryTest, RemoveReservation) {
+  M.insert(Message::reservation(X, Time(1), Time(2), 0));
+  EXPECT_EQ(M.messages(X).size(), 2u);
+  M.removeReservation(X, Time(2));
+  EXPECT_EQ(M.messages(X).size(), 1u);
+}
+
+TEST_F(MemoryTest, HashAndEquality) {
+  Memory A = Memory::initial({X});
+  Memory B = Memory::initial({X});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
+  EXPECT_FALSE(A == B);
+}
+
+} // namespace
+} // namespace psopt

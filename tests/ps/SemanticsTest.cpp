@@ -1,0 +1,124 @@
+//===- tests/ps/SemanticsTest.cpp - End-to-end litmus outcomes -----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exhaustively explores every litmus program under the interleaving
+/// machine and checks the expected/forbidden outcomes (E1, E8 of
+/// DESIGN.md). This is the workbench's ground-truth test: if these fail,
+/// the PS2.1 implementation is wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "lang/Parser.h"
+#include "litmus/Litmus.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+class LitmusOutcomes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LitmusOutcomes, InterleavingMachine) {
+  const LitmusTest &T = litmus(GetParam());
+  BehaviorSet B = exploreInterleaving(T.Prog, T.SuggestedConfig());
+  EXPECT_TRUE(B.Exhausted) << "exploration hit a bound";
+  EXPECT_FALSE(B.anyAbort()) << "litmus programs must be abort-free";
+
+  for (const auto &Outcome : T.ExpectedOutcomes)
+    EXPECT_TRUE(B.hasDoneMultiset(Outcome))
+        << T.Name << ": expected outcome missing\n"
+        << B.str();
+  for (const auto &Outcome : T.ForbiddenOutcomes)
+    EXPECT_FALSE(B.hasDoneMultiset(Outcome))
+        << T.Name << ": forbidden outcome observed\n"
+        << B.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLitmus, LitmusOutcomes, [] {
+      std::vector<std::string> Names;
+      for (const LitmusTest &T : allLitmusTests())
+        Names.push_back(T.Name);
+      return ::testing::ValuesIn(Names);
+    }(),
+    [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
+
+// The LB outcome {1,1} must disappear when promises are disabled: it is a
+// promise-only behavior (§2.1).
+TEST(SemanticsTest, LbNeedsPromises) {
+  const LitmusTest &T = litmus("lb");
+  StepConfig NoPrm;
+  NoPrm.EnablePromises = false;
+  BehaviorSet B = exploreInterleaving(T.Prog, NoPrm);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_FALSE(B.hasDoneMultiset({1, 1}));
+  EXPECT_TRUE(B.hasDoneMultiset({0, 0}));
+}
+
+// SB's weak outcome does not need promises: it comes from reading stale
+// messages.
+TEST(SemanticsTest, SbWeakOutcomeWithoutPromises) {
+  const LitmusTest &T = litmus("sb");
+  StepConfig NoPrm;
+  NoPrm.EnablePromises = false;
+  BehaviorSet B = exploreInterleaving(T.Prog, NoPrm);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDoneMultiset({0, 0}));
+}
+
+// Dynamic mode violations surface as abort behaviors.
+TEST(SemanticsTest, AbortBehaviors) {
+  Program P = parseProgramOrDie(R"(
+    var x atomic;
+    func f { block 0: r := x.na; print(r); ret; }
+    thread f;
+  )");
+  BehaviorSet B = exploreInterleaving(P);
+  EXPECT_TRUE(B.anyAbort());
+  EXPECT_TRUE(B.Done.empty());
+}
+
+// A missing thread entry also aborts.
+TEST(SemanticsTest, MissingEntryAborts) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: ret; }
+    thread f;
+  )");
+  P.addThread(FuncId("missing"));
+  BehaviorSet B = exploreInterleaving(P);
+  EXPECT_TRUE(B.anyAbort());
+}
+
+// Output ordering is part of the trace: two sequential prints in one thread
+// can never be observed reversed.
+TEST(SemanticsTest, ProgramOrderOfOutputs) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(1); print(2); ret; }
+    thread f;
+  )");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({1, 2}));
+  EXPECT_FALSE(B.hasDone({2, 1}));
+  EXPECT_EQ(B.Done.size(), 1u);
+}
+
+// Cross-thread outputs interleave freely.
+TEST(SemanticsTest, CrossThreadOutputsInterleave) {
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(1); ret; }
+    func g { block 0: print(2); ret; }
+    thread f; thread g;
+  )");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({1, 2}));
+  EXPECT_TRUE(B.hasDone({2, 1}));
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,86 @@
+//===- tests/ps/ViewTest.cpp - TimeMap and View tests -------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/View.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(TimeMapTest, DefaultsToZero) {
+  TimeMap TM;
+  EXPECT_EQ(TM.get(VarId("vt_x")), Time(0));
+}
+
+TEST(TimeMapTest, ZeroEntriesStaySparse) {
+  TimeMap TM;
+  TM.set(VarId("vt_x"), Time(0));
+  EXPECT_TRUE(TM.entries().empty());
+  TM.set(VarId("vt_x"), Time(3));
+  EXPECT_EQ(TM.entries().size(), 1u);
+  TM.set(VarId("vt_x"), Time(0));
+  EXPECT_TRUE(TM.entries().empty());
+}
+
+TEST(TimeMapTest, EqualityIgnoresRepresentation) {
+  TimeMap A, B;
+  A.set(VarId("vt_x"), Time(0)); // no-op
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(TimeMapTest, JoinIsPointwiseMax) {
+  VarId X("vt_jx"), Y("vt_jy");
+  TimeMap A, B;
+  A.set(X, Time(5));
+  B.set(X, Time(3));
+  B.set(Y, Time(7));
+  A.join(B);
+  EXPECT_EQ(A.get(X), Time(5));
+  EXPECT_EQ(A.get(Y), Time(7));
+}
+
+TEST(TimeMapTest, JoinAtNeverDecreases) {
+  VarId X("vt_jd");
+  TimeMap A;
+  A.set(X, Time(5));
+  A.joinAt(X, Time(3));
+  EXPECT_EQ(A.get(X), Time(5));
+  A.joinAt(X, Time(9));
+  EXPECT_EQ(A.get(X), Time(9));
+}
+
+TEST(TimeMapTest, Leq) {
+  VarId X("vt_lx"), Y("vt_ly");
+  TimeMap A, B;
+  A.set(X, Time(2));
+  B.set(X, Time(3));
+  B.set(Y, Time(1));
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  EXPECT_TRUE(A.leq(A));
+}
+
+TEST(ViewTest, JoinJoinsBothComponents) {
+  VarId X("vt_vx");
+  View A, B;
+  A.Na.set(X, Time(1));
+  B.Rlx.set(X, Time(4));
+  A.join(B);
+  EXPECT_EQ(A.Na.get(X), Time(1));
+  EXPECT_EQ(A.Rlx.get(X), Time(4));
+}
+
+TEST(ViewTest, BottomViewIsEmpty) {
+  View V = bottomView();
+  EXPECT_EQ(V.Na.get(VarId("vt_bx")), Time(0));
+  EXPECT_EQ(V.Rlx.get(VarId("vt_bx")), Time(0));
+  EXPECT_EQ(V, View{});
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,111 @@
+//===- tests/support/RationalTest.cpp - Rational arithmetic tests ----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace psopt {
+namespace {
+
+TEST(RationalTest, CanonicalForm) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.numerator(), 3);
+  EXPECT_EQ(R.denominator(), 2);
+
+  Rational Neg(3, -6);
+  EXPECT_EQ(Neg.numerator(), -1);
+  EXPECT_EQ(Neg.denominator(), 2);
+
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_TRUE(Rational(5).isInteger());
+  EXPECT_FALSE(Rational(5, 3).isInteger());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2);
+  Rational Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(Rational(2) + Rational(-2), Rational(0));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LE(Rational(2), Rational(2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+  EXPECT_GE(Rational(7, 3), Rational(7, 3));
+}
+
+TEST(RationalTest, MidpointIsStrictlyBetween) {
+  Rational A(1), B(2);
+  Rational M = Rational::midpoint(A, B);
+  EXPECT_LT(A, M);
+  EXPECT_LT(M, B);
+  EXPECT_EQ(M, Rational(3, 2));
+}
+
+TEST(RationalTest, LerpSplitsGap) {
+  Rational A(5), B(8);
+  Rational OneThird = Rational::lerp(A, B, 1, 3);
+  Rational TwoThirds = Rational::lerp(A, B, 2, 3);
+  EXPECT_EQ(OneThird, Rational(6));
+  EXPECT_EQ(TwoThirds, Rational(7));
+  EXPECT_LT(A, OneThird);
+  EXPECT_LT(OneThird, TwoThirds);
+  EXPECT_LT(TwoThirds, B);
+}
+
+TEST(RationalTest, StrRendering) {
+  EXPECT_EQ(Rational(7).str(), "7");
+  EXPECT_EQ(Rational(7, 3).str(), "7/3");
+  EXPECT_EQ(Rational(-7, 3).str(), "-7/3");
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).hash(), Rational(1, 2).hash());
+  EXPECT_EQ(Rational(3).hash(), Rational(6, 2).hash());
+}
+
+// Property: midpoints stay ordered and dense under repeated splitting.
+TEST(RationalTest, RepeatedMidpointsStayOrdered) {
+  Rational Lo(0), Hi(1);
+  for (int I = 0; I < 20; ++I) {
+    Rational Mid = Rational::midpoint(Lo, Hi);
+    ASSERT_LT(Lo, Mid);
+    ASSERT_LT(Mid, Hi);
+    Hi = Mid;
+  }
+}
+
+// Property: sorting random rationals agrees with sorting by double value.
+TEST(RationalTest, OrderAgreesWithDoubles) {
+  std::mt19937 Rng(42);
+  std::uniform_int_distribution<int> Num(-50, 50), Den(1, 20);
+  std::vector<Rational> Rs;
+  for (int I = 0; I < 200; ++I)
+    Rs.emplace_back(Num(Rng), Den(Rng));
+  std::vector<Rational> Sorted = Rs;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Rational &A, const Rational &B) { return A < B; });
+  for (std::size_t I = 0; I + 1 < Sorted.size(); ++I) {
+    double A = static_cast<double>(Sorted[I].numerator()) /
+               static_cast<double>(Sorted[I].denominator());
+    double B = static_cast<double>(Sorted[I + 1].numerator()) /
+               static_cast<double>(Sorted[I + 1].denominator());
+    ASSERT_LE(A, B);
+  }
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,45 @@
+//===- tests/support/StatisticTest.cpp - Statistics registry tests ---------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(StatisticTest, RegistersAndCounts) {
+  static Statistic S("test", "counter_a", "a test counter");
+  S.reset();
+  ++S;
+  S += 4;
+  EXPECT_EQ(S.value(), 5u);
+  bool Found = false;
+  for (Statistic *St : allStatistics())
+    Found |= St == &S;
+  EXPECT_TRUE(Found);
+}
+
+TEST(StatisticTest, FormatSkipsZeroCounters) {
+  static Statistic Z("test", "always_zero", "never incremented");
+  static Statistic N("test", "nonzero_fmt", "incremented once");
+  Z.reset();
+  N.reset();
+  ++N;
+  std::string Out = formatStatistics();
+  EXPECT_EQ(Out.find("always_zero"), std::string::npos);
+  EXPECT_NE(Out.find("test.nonzero_fmt = 1"), std::string::npos);
+}
+
+TEST(StatisticTest, ResetAll) {
+  static Statistic R("test", "resettable", "reset target");
+  R += 7;
+  resetStatistics();
+  EXPECT_EQ(R.value(), 0u);
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,55 @@
+//===- tests/support/SymbolTest.cpp - Interned identifier tests ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+TEST(SymbolTest, InterningIsStable) {
+  VarId A("sym_x");
+  VarId B("sym_x");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.raw(), B.raw());
+  EXPECT_EQ(A.str(), "sym_x");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctIds) {
+  VarId A("sym_a");
+  VarId B("sym_b");
+  EXPECT_NE(A, B);
+}
+
+TEST(SymbolTest, NameSpacesAreIndependent) {
+  VarId X("sym_shared");
+  RegId R("sym_shared");
+  FuncId F("sym_shared");
+  // Same spelling in all three spaces; the typed wrappers keep them apart
+  // and each space reports its own spelling.
+  EXPECT_EQ(X.str(), "sym_shared");
+  EXPECT_EQ(R.str(), "sym_shared");
+  EXPECT_EQ(F.str(), "sym_shared");
+}
+
+TEST(SymbolTest, FreshAvoidsCollisions) {
+  RegId A("fresh_base$0"); // Occupy the first candidate name.
+  RegId F = RegId::fresh("fresh_base");
+  EXPECT_NE(F, A);
+  EXPECT_NE(F.str(), "fresh_base$0");
+  RegId F2 = RegId::fresh("fresh_base");
+  EXPECT_NE(F2, F);
+}
+
+TEST(SymbolTest, InvalidDefault) {
+  VarId V;
+  EXPECT_FALSE(V.isValid());
+  EXPECT_TRUE(VarId("sym_valid").isValid());
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,159 @@
+//===- tests/tools/CliTest.cpp - CLI driver integration tests ---------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef PSOPT_CLI_PATH
+#error "PSOPT_CLI_PATH must be defined by the build"
+#endif
+
+struct CliResult {
+  int ExitCode;
+  std::string Output;
+};
+
+CliResult runCli(const std::string &Args) {
+  std::string Cmd = std::string(PSOPT_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 512> Buf;
+  while (fgets(Buf.data(), Buf.size(), Pipe))
+    Out += Buf.data();
+  int Status = pclose(Pipe);
+  return CliResult{WEXITSTATUS(Status), Out};
+}
+
+std::string writeTemp(const char *Name, const char *Contents) {
+  std::string Path = std::string(::testing::TempDir()) + Name;
+  std::ofstream F(Path);
+  F << Contents;
+  return Path;
+}
+
+const char *MpProgram = R"(
+var data;
+var flag atomic;
+func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                block 1: v := data.na; print(v); ret;
+                block 2: print(-1); ret; }
+thread producer; thread consumer;
+)";
+
+const char *RacyProgram = R"(
+var x;
+func t1 { block 0: x.na := 1; ret; }
+func t2 { block 0: x.na := 2; ret; }
+thread t1; thread t2;
+)";
+
+TEST(CliTest, NoArgsShowsUsage) {
+  CliResult R = runCli("");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, ExploreListsBehaviors) {
+  std::string P = writeTemp("cli_mp.psopt", MpProgram);
+  CliResult R = runCli("explore " + P);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("[42] done"), std::string::npos);
+  EXPECT_NE(R.Output.find("[-1] done"), std::string::npos);
+  EXPECT_NE(R.Output.find("(exhaustive)"), std::string::npos);
+}
+
+TEST(CliTest, ExploreNonPreemptive) {
+  std::string P = writeTemp("cli_mp2.psopt", MpProgram);
+  CliResult R = runCli("explore --np " + P);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("[42] done"), std::string::npos);
+}
+
+TEST(CliTest, RaceVerdicts) {
+  std::string Clean = writeTemp("cli_clean.psopt", MpProgram);
+  CliResult R1 = runCli("race " + Clean);
+  EXPECT_EQ(R1.ExitCode, 0);
+  EXPECT_NE(R1.Output.find("ww-race-free"), std::string::npos);
+
+  std::string Racy = writeTemp("cli_racy.psopt", RacyProgram);
+  CliResult R2 = runCli("race " + Racy);
+  EXPECT_EQ(R2.ExitCode, 1);
+  EXPECT_NE(R2.Output.find("ww-race-FOUND"), std::string::npos);
+  EXPECT_NE(R2.Output.find("witness:"), std::string::npos);
+}
+
+TEST(CliTest, OptimizeRunsPasses) {
+  std::string P = writeTemp("cli_opt.psopt", R"(
+    var x;
+    func f { block 0: r := 2 + 3; x.na := 9; x.na := r; print(r); ret; }
+    thread f;
+  )");
+  CliResult R = runCli("optimize --passes=constprop,dce,simplifycfg " + P);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("x.na := 5"), std::string::npos)
+      << R.Output; // constprop folded, dce killed x.na := 9
+  EXPECT_EQ(R.Output.find("x.na := 9"), std::string::npos) << R.Output;
+}
+
+TEST(CliTest, RefineDetectsViolation) {
+  std::string Src = writeTemp("cli_src.psopt", R"(
+    func f { block 0: print(1); ret; } thread f;)");
+  std::string TgtGood = writeTemp("cli_tgood.psopt", R"(
+    func f { block 0: print(1); ret; } thread f;)");
+  std::string TgtBad = writeTemp("cli_tbad.psopt", R"(
+    func f { block 0: print(2); ret; } thread f;)");
+  EXPECT_EQ(runCli("refine " + TgtGood + " " + Src).ExitCode, 0);
+  CliResult R = runCli("refine " + TgtBad + " " + Src);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("FAILS"), std::string::npos);
+}
+
+TEST(CliTest, EquivReportsVerdict) {
+  std::string P = writeTemp("cli_eq.psopt", MpProgram);
+  CliResult R = runCli("equiv " + P);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("HOLDS"), std::string::npos);
+}
+
+TEST(CliTest, WitnessReconstructsExecution) {
+  std::string P = writeTemp("cli_wit.psopt", MpProgram);
+  CliResult R = runCli("witness " + P + " --trace=42 --end=done");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("W(rel,flag,1)"), std::string::npos);
+  EXPECT_NE(R.Output.find("out(42)"), std::string::npos);
+  CliResult R2 = runCli("witness " + P + " --trace=0 --end=done");
+  EXPECT_EQ(R2.ExitCode, 1);
+  EXPECT_NE(R2.Output.find("no execution"), std::string::npos);
+}
+
+TEST(CliTest, LitmusRegistry) {
+  CliResult List = runCli("litmus");
+  EXPECT_EQ(List.ExitCode, 0);
+  EXPECT_NE(List.Output.find("sb"), std::string::npos);
+
+  CliResult Run = runCli("litmus sb");
+  EXPECT_EQ(Run.ExitCode, 0);
+  EXPECT_NE(Run.Output.find("expectations: MET"), std::string::npos);
+
+  EXPECT_EQ(runCli("litmus nonexistent").ExitCode, 2);
+}
+
+TEST(CliTest, ParseErrorsAreReported) {
+  std::string P = writeTemp("cli_bad.psopt", "func f { oops");
+  CliResult R = runCli("explore " + P);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("parse error"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,325 @@
+//===- tools/psopt.cpp - The psopt command-line driver ------------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line front end to the workbench:
+//
+//   psopt explore  <file> [--np] [--no-promises] [--max-nodes=N]
+//       enumerate all behaviors (interleaving or non-preemptive machine)
+//   psopt race     <file> [--np] [--rw] [--no-promises]
+//       check write-write (or read-write) race freedom
+//   psopt optimize <file> --passes=constprop,dce,cse,licm,simplifycfg
+//       run passes and print the optimized program
+//   psopt refine   <target> <source> [--no-promises]
+//       check event-trace refinement target ⊆ source
+//   psopt equiv    <file> [--no-promises]
+//       check interleaving ≈ non-preemptive (Thm 4.1) on one program
+//   psopt witness  <file> --trace=v1,v2,... [--end=done|abort|partial]
+//       reconstruct an execution producing the given outputs
+//   psopt litmus   [name]
+//       run a registered litmus test (all names when omitted)
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "explore/Refinement.h"
+#include "explore/Witness.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "lang/Validate.h"
+#include "litmus/Litmus.h"
+#include "nps/NPMachine.h"
+#include "opt/Pass.h"
+#include "race/RWRace.h"
+#include "race/WWRace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace psopt;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> Positional;
+  bool NonPreemptive = false;
+  bool NoPromises = false;
+  bool RwRace = false;
+  std::uint64_t MaxNodes = 2'000'000;
+  std::string Passes;
+  std::string TraceSpec;
+  std::string End = "done";
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: psopt <command> [args]\n"
+      "  explore  <file> [--np] [--no-promises] [--max-nodes=N]\n"
+      "  race     <file> [--np] [--rw] [--no-promises]\n"
+      "  optimize <file> --passes=constprop,dce,cse,licm,simplifycfg\n"
+      "  refine   <target> <source> [--no-promises]\n"
+      "  equiv    <file> [--no-promises]\n"
+      "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
+      "  litmus   [name]\n");
+  return 2;
+}
+
+bool parseArgs(int argc, char **argv, Options &O) {
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--np")
+      O.NonPreemptive = true;
+    else if (A == "--no-promises")
+      O.NoPromises = true;
+    else if (A == "--rw")
+      O.RwRace = true;
+    else if (A.rfind("--max-nodes=", 0) == 0)
+      O.MaxNodes = std::stoull(A.substr(12));
+    else if (A.rfind("--passes=", 0) == 0)
+      O.Passes = A.substr(9);
+    else if (A.rfind("--trace=", 0) == 0)
+      O.TraceSpec = A.substr(8);
+    else if (A.rfind("--end=", 0) == 0)
+      O.End = A.substr(6);
+    else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", A.c_str());
+      return false;
+    } else
+      O.Positional.push_back(A);
+  }
+  return true;
+}
+
+bool loadProgram(const std::string &Path, Program &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  ParseResult R = parseProgram(SS.str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s:%u: parse error: %s\n", Path.c_str(),
+                 R.ErrorLine, R.Error.c_str());
+    return false;
+  }
+  for (const ValidationError &E : validateProgram(*R.Prog))
+    std::fprintf(stderr, "%s: warning: %s\n", Path.c_str(),
+                 E.Message.c_str());
+  Out = std::move(*R.Prog);
+  return true;
+}
+
+StepConfig stepConfig(const Options &O) {
+  StepConfig SC;
+  SC.EnablePromises = !O.NoPromises;
+  return SC;
+}
+
+BehaviorSet exploreWith(const Options &O, const Program &P) {
+  ExploreConfig EC;
+  EC.MaxNodes = O.MaxNodes;
+  return O.NonPreemptive ? exploreNonPreemptive(P, stepConfig(O), EC)
+                         : exploreInterleaving(P, stepConfig(O), EC);
+}
+
+int cmdExplore(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  BehaviorSet B = exploreWith(O, P);
+  std::printf("%s", B.str().c_str());
+  std::printf("nodes=%llu unique_states=%llu transitions=%llu\n",
+              static_cast<unsigned long long>(B.NodesVisited),
+              static_cast<unsigned long long>(B.UniqueStates),
+              static_cast<unsigned long long>(B.Transitions));
+  return 0;
+}
+
+int cmdRace(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  RaceCheckConfig RC;
+  RC.MaxNodes = O.MaxNodes;
+  RaceCheckResult R;
+  if (O.RwRace)
+    R = checkRWRaceFreedom(P, stepConfig(O), RC);
+  else
+    R = O.NonPreemptive ? checkWWRaceFreedomNP(P, stepConfig(O), RC)
+                        : checkWWRaceFreedom(P, stepConfig(O), RC);
+  std::printf("%s-race-%s%s (states checked: %llu)\n",
+              O.RwRace ? "rw" : "ww", R.RaceFree ? "free" : "FOUND",
+              R.Exact ? "" : " [bounded]",
+              static_cast<unsigned long long>(R.StatesChecked));
+  if (R.Witness)
+    std::printf("witness: %s\n", R.Witness->Description.c_str());
+  return R.RaceFree ? 0 : 1;
+}
+
+std::unique_ptr<Pass> passByName(const std::string &Name) {
+  if (Name == "constprop")
+    return createConstProp();
+  if (Name == "dce")
+    return createDCE();
+  if (Name == "cse")
+    return createCSE();
+  if (Name == "linv")
+    return createLInv();
+  if (Name == "licm")
+    return createLICM();
+  if (Name == "simplifycfg")
+    return createSimplifyCfg();
+  return nullptr;
+}
+
+int cmdOptimize(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  if (O.Passes.empty()) {
+    std::fprintf(stderr, "optimize requires --passes=...\n");
+    return 2;
+  }
+  Program Cur = std::move(P);
+  std::stringstream SS(O.Passes);
+  std::string Name;
+  while (std::getline(SS, Name, ',')) {
+    std::unique_ptr<Pass> Pass_ = passByName(Name);
+    if (!Pass_) {
+      std::fprintf(stderr, "unknown pass: %s\n", Name.c_str());
+      return 2;
+    }
+    Cur = Pass_->run(Cur);
+  }
+  std::printf("%s", printProgram(Cur).c_str());
+  return 0;
+}
+
+int cmdRefine(const Options &O) {
+  Program Tgt, Src;
+  if (O.Positional.size() < 2 || !loadProgram(O.Positional[0], Tgt) ||
+      !loadProgram(O.Positional[1], Src))
+    return 2;
+  BehaviorSet TB = exploreWith(O, Tgt);
+  BehaviorSet SB = exploreWith(O, Src);
+  RefinementResult R = checkRefinement(TB, SB);
+  std::printf("refinement %s%s\n", R.Holds ? "HOLDS" : "FAILS",
+              R.Exact ? " (exhaustive)" : " (bounded)");
+  if (!R.Holds)
+    std::printf("counterexample: %s\n", R.CounterExample.c_str());
+  return R.Holds ? 0 : 1;
+}
+
+int cmdEquiv(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  ExploreConfig EC;
+  EC.MaxNodes = O.MaxNodes;
+  BehaviorSet Inter = exploreInterleaving(P, stepConfig(O), EC);
+  BehaviorSet NP = exploreNonPreemptive(P, stepConfig(O), EC);
+  RefinementResult R = checkEquivalence(NP, Inter);
+  std::printf("interleaving: %llu nodes, non-preemptive: %llu nodes\n",
+              static_cast<unsigned long long>(Inter.NodesVisited),
+              static_cast<unsigned long long>(NP.NodesVisited));
+  std::printf("equivalence (Thm 4.1) %s%s\n", R.Holds ? "HOLDS" : "FAILS",
+              R.Exact ? " (exhaustive)" : " (bounded)");
+  if (!R.Holds)
+    std::printf("counterexample: %s\n", R.CounterExample.c_str());
+  return R.Holds ? 0 : 1;
+}
+
+int cmdWitness(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  Trace Outs;
+  if (!O.TraceSpec.empty()) {
+    std::stringstream SS(O.TraceSpec);
+    std::string Tok;
+    while (std::getline(SS, Tok, ','))
+      Outs.push_back(static_cast<Val>(std::stol(Tok)));
+  }
+  Behavior::End End = Behavior::End::Done;
+  if (O.End == "abort")
+    End = Behavior::End::Abort;
+  else if (O.End == "partial")
+    End = Behavior::End::Partial;
+  ExploreConfig EC;
+  EC.MaxNodes = O.MaxNodes;
+  StepConfig SC = stepConfig(O);
+  std::optional<Witness> W;
+  if (O.NonPreemptive) {
+    NonPreemptiveMachine M(P, SC);
+    W = findWitness(M, Outs, End, EC);
+  } else {
+    InterleavingMachine M(P, SC);
+    W = findWitness(M, Outs, End, EC);
+  }
+  if (!W) {
+    std::printf("no execution with that behavior\n");
+    return 1;
+  }
+  std::printf("%s", W->str().c_str());
+  return 0;
+}
+
+int cmdLitmus(const Options &O) {
+  if (O.Positional.empty()) {
+    for (const LitmusTest &T : allLitmusTests())
+      std::printf("%-16s %s\n", T.Name.c_str(), T.Description.c_str());
+    return 0;
+  }
+  for (const LitmusTest &T : allLitmusTests()) {
+    if (T.Name != O.Positional[0])
+      continue;
+    std::printf("%s\n%s\n", T.Description.c_str(),
+                printProgram(T.Prog).c_str());
+    BehaviorSet B = exploreInterleaving(T.Prog, T.SuggestedConfig());
+    std::printf("%s", B.str().c_str());
+    bool Ok = true;
+    for (const auto &Exp : T.ExpectedOutcomes)
+      Ok &= B.hasDoneMultiset(Exp);
+    for (const auto &Forb : T.ForbiddenOutcomes)
+      Ok &= !B.hasDoneMultiset(Forb);
+    std::printf("expectations: %s\n", Ok ? "MET" : "VIOLATED");
+    return Ok ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown litmus test: %s\n", O.Positional[0].c_str());
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  Options O;
+  if (!parseArgs(argc, argv, O))
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd == "explore")
+    return cmdExplore(O);
+  if (Cmd == "race")
+    return cmdRace(O);
+  if (Cmd == "optimize")
+    return cmdOptimize(O);
+  if (Cmd == "refine")
+    return cmdRefine(O);
+  if (Cmd == "equiv")
+    return cmdEquiv(O);
+  if (Cmd == "witness")
+    return cmdWitness(O);
+  if (Cmd == "litmus")
+    return cmdLitmus(O);
+  return usage();
+}
