@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_certification.dir/bench_certification.cpp.o"
+  "CMakeFiles/bench_certification.dir/bench_certification.cpp.o.d"
+  "bench_certification"
+  "bench_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_release.dir/dce_release.cpp.o"
+  "CMakeFiles/dce_release.dir/dce_release.cpp.o.d"
+  "dce_release"
+  "dce_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

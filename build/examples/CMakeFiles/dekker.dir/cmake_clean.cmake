@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekker.dir/dekker.cpp.o"
+  "CMakeFiles/dekker.dir/dekker.cpp.o.d"
+  "dekker"
+  "dekker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_fig1.dir/licm_fig1.cpp.o"
+  "CMakeFiles/licm_fig1.dir/licm_fig1.cpp.o.d"
+  "licm_fig1"
+  "licm_fig1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

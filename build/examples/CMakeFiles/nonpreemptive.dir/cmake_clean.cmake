@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonpreemptive.dir/nonpreemptive.cpp.o"
+  "CMakeFiles/nonpreemptive.dir/nonpreemptive.cpp.o.d"
+  "nonpreemptive"
+  "nonpreemptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonpreemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

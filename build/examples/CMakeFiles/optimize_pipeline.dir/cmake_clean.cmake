@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_pipeline.dir/optimize_pipeline.cpp.o"
+  "CMakeFiles/optimize_pipeline.dir/optimize_pipeline.cpp.o.d"
+  "optimize_pipeline"
+  "optimize_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

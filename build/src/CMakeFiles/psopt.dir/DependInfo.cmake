@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AvailLoads.cpp" "src/CMakeFiles/psopt.dir/analysis/AvailLoads.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/AvailLoads.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/psopt.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/ConstAnalysis.cpp" "src/CMakeFiles/psopt.dir/analysis/ConstAnalysis.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/ConstAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/psopt.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/psopt.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/CMakeFiles/psopt.dir/analysis/Loops.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/analysis/Loops.cpp.o.d"
+  "/root/repo/src/explore/Behavior.cpp" "src/CMakeFiles/psopt.dir/explore/Behavior.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/explore/Behavior.cpp.o.d"
+  "/root/repo/src/explore/Canonical.cpp" "src/CMakeFiles/psopt.dir/explore/Canonical.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/explore/Canonical.cpp.o.d"
+  "/root/repo/src/explore/Explorer.cpp" "src/CMakeFiles/psopt.dir/explore/Explorer.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/explore/Explorer.cpp.o.d"
+  "/root/repo/src/explore/Refinement.cpp" "src/CMakeFiles/psopt.dir/explore/Refinement.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/explore/Refinement.cpp.o.d"
+  "/root/repo/src/explore/Witness.cpp" "src/CMakeFiles/psopt.dir/explore/Witness.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/explore/Witness.cpp.o.d"
+  "/root/repo/src/lang/BasicBlock.cpp" "src/CMakeFiles/psopt.dir/lang/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/BasicBlock.cpp.o.d"
+  "/root/repo/src/lang/Builder.cpp" "src/CMakeFiles/psopt.dir/lang/Builder.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Builder.cpp.o.d"
+  "/root/repo/src/lang/Expr.cpp" "src/CMakeFiles/psopt.dir/lang/Expr.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Expr.cpp.o.d"
+  "/root/repo/src/lang/Function.cpp" "src/CMakeFiles/psopt.dir/lang/Function.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Function.cpp.o.d"
+  "/root/repo/src/lang/Instr.cpp" "src/CMakeFiles/psopt.dir/lang/Instr.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Instr.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/psopt.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Printer.cpp" "src/CMakeFiles/psopt.dir/lang/Printer.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Printer.cpp.o.d"
+  "/root/repo/src/lang/Program.cpp" "src/CMakeFiles/psopt.dir/lang/Program.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Program.cpp.o.d"
+  "/root/repo/src/lang/Validate.cpp" "src/CMakeFiles/psopt.dir/lang/Validate.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/lang/Validate.cpp.o.d"
+  "/root/repo/src/litmus/Litmus.cpp" "src/CMakeFiles/psopt.dir/litmus/Litmus.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/litmus/Litmus.cpp.o.d"
+  "/root/repo/src/litmus/RandomProgram.cpp" "src/CMakeFiles/psopt.dir/litmus/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/litmus/RandomProgram.cpp.o.d"
+  "/root/repo/src/nps/NPMachine.cpp" "src/CMakeFiles/psopt.dir/nps/NPMachine.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/nps/NPMachine.cpp.o.d"
+  "/root/repo/src/opt/CSE.cpp" "src/CMakeFiles/psopt.dir/opt/CSE.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/CSE.cpp.o.d"
+  "/root/repo/src/opt/ConstProp.cpp" "src/CMakeFiles/psopt.dir/opt/ConstProp.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/ConstProp.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/CMakeFiles/psopt.dir/opt/DCE.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/DCE.cpp.o.d"
+  "/root/repo/src/opt/LInv.cpp" "src/CMakeFiles/psopt.dir/opt/LInv.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/LInv.cpp.o.d"
+  "/root/repo/src/opt/Pass.cpp" "src/CMakeFiles/psopt.dir/opt/Pass.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/Pass.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCfg.cpp" "src/CMakeFiles/psopt.dir/opt/SimplifyCfg.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/opt/SimplifyCfg.cpp.o.d"
+  "/root/repo/src/ps/Certification.cpp" "src/CMakeFiles/psopt.dir/ps/Certification.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/Certification.cpp.o.d"
+  "/root/repo/src/ps/LocalState.cpp" "src/CMakeFiles/psopt.dir/ps/LocalState.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/LocalState.cpp.o.d"
+  "/root/repo/src/ps/Machine.cpp" "src/CMakeFiles/psopt.dir/ps/Machine.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/Machine.cpp.o.d"
+  "/root/repo/src/ps/Memory.cpp" "src/CMakeFiles/psopt.dir/ps/Memory.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/Memory.cpp.o.d"
+  "/root/repo/src/ps/Message.cpp" "src/CMakeFiles/psopt.dir/ps/Message.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/Message.cpp.o.d"
+  "/root/repo/src/ps/ThreadStep.cpp" "src/CMakeFiles/psopt.dir/ps/ThreadStep.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/ThreadStep.cpp.o.d"
+  "/root/repo/src/ps/View.cpp" "src/CMakeFiles/psopt.dir/ps/View.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/ps/View.cpp.o.d"
+  "/root/repo/src/race/RWRace.cpp" "src/CMakeFiles/psopt.dir/race/RWRace.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/race/RWRace.cpp.o.d"
+  "/root/repo/src/race/WWRace.cpp" "src/CMakeFiles/psopt.dir/race/WWRace.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/race/WWRace.cpp.o.d"
+  "/root/repo/src/sim/DelayedWrites.cpp" "src/CMakeFiles/psopt.dir/sim/DelayedWrites.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/sim/DelayedWrites.cpp.o.d"
+  "/root/repo/src/sim/Invariant.cpp" "src/CMakeFiles/psopt.dir/sim/Invariant.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/sim/Invariant.cpp.o.d"
+  "/root/repo/src/sim/SimChecker.cpp" "src/CMakeFiles/psopt.dir/sim/SimChecker.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/sim/SimChecker.cpp.o.d"
+  "/root/repo/src/sim/TimestampMap.cpp" "src/CMakeFiles/psopt.dir/sim/TimestampMap.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/sim/TimestampMap.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/psopt.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/support/Statistic.cpp" "src/CMakeFiles/psopt.dir/support/Statistic.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/support/Statistic.cpp.o.d"
+  "/root/repo/src/support/Symbol.cpp" "src/CMakeFiles/psopt.dir/support/Symbol.cpp.o" "gcc" "src/CMakeFiles/psopt.dir/support/Symbol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

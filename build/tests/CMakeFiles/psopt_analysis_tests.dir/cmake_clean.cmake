@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/AvailLoadsTest.cpp.o"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/AvailLoadsTest.cpp.o.d"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/CfgTest.cpp.o"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/CfgTest.cpp.o.d"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/ConstAnalysisTest.cpp.o"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/ConstAnalysisTest.cpp.o.d"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/LivenessTest.cpp.o"
+  "CMakeFiles/psopt_analysis_tests.dir/analysis/LivenessTest.cpp.o.d"
+  "psopt_analysis_tests"
+  "psopt_analysis_tests.pdb"
+  "psopt_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_cli_tests.dir/tools/CliTest.cpp.o"
+  "CMakeFiles/psopt_cli_tests.dir/tools/CliTest.cpp.o.d"
+  "psopt_cli_tests"
+  "psopt_cli_tests.pdb"
+  "psopt_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_equiv_tests.dir/equiv/EquivalenceTest.cpp.o"
+  "CMakeFiles/psopt_equiv_tests.dir/equiv/EquivalenceTest.cpp.o.d"
+  "psopt_equiv_tests"
+  "psopt_equiv_tests.pdb"
+  "psopt_equiv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_equiv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

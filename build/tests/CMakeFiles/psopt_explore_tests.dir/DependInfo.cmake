@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/explore/BehaviorTest.cpp" "tests/CMakeFiles/psopt_explore_tests.dir/explore/BehaviorTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_explore_tests.dir/explore/BehaviorTest.cpp.o.d"
+  "/root/repo/tests/explore/CanonicalTest.cpp" "tests/CMakeFiles/psopt_explore_tests.dir/explore/CanonicalTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_explore_tests.dir/explore/CanonicalTest.cpp.o.d"
+  "/root/repo/tests/explore/ExplorerTest.cpp" "tests/CMakeFiles/psopt_explore_tests.dir/explore/ExplorerTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_explore_tests.dir/explore/ExplorerTest.cpp.o.d"
+  "/root/repo/tests/explore/RefinementTest.cpp" "tests/CMakeFiles/psopt_explore_tests.dir/explore/RefinementTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_explore_tests.dir/explore/RefinementTest.cpp.o.d"
+  "/root/repo/tests/explore/WitnessTest.cpp" "tests/CMakeFiles/psopt_explore_tests.dir/explore/WitnessTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_explore_tests.dir/explore/WitnessTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

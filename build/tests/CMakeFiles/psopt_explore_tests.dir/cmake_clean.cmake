@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_explore_tests.dir/explore/BehaviorTest.cpp.o"
+  "CMakeFiles/psopt_explore_tests.dir/explore/BehaviorTest.cpp.o.d"
+  "CMakeFiles/psopt_explore_tests.dir/explore/CanonicalTest.cpp.o"
+  "CMakeFiles/psopt_explore_tests.dir/explore/CanonicalTest.cpp.o.d"
+  "CMakeFiles/psopt_explore_tests.dir/explore/ExplorerTest.cpp.o"
+  "CMakeFiles/psopt_explore_tests.dir/explore/ExplorerTest.cpp.o.d"
+  "CMakeFiles/psopt_explore_tests.dir/explore/RefinementTest.cpp.o"
+  "CMakeFiles/psopt_explore_tests.dir/explore/RefinementTest.cpp.o.d"
+  "CMakeFiles/psopt_explore_tests.dir/explore/WitnessTest.cpp.o"
+  "CMakeFiles/psopt_explore_tests.dir/explore/WitnessTest.cpp.o.d"
+  "psopt_explore_tests"
+  "psopt_explore_tests.pdb"
+  "psopt_explore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_explore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

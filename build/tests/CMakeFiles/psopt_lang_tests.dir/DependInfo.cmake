@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang/BuilderTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/BuilderTest.cpp.o.d"
+  "/root/repo/tests/lang/ExprTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ExprTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ExprTest.cpp.o.d"
+  "/root/repo/tests/lang/InstrTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/InstrTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/InstrTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "/root/repo/tests/lang/ProgramTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ProgramTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ProgramTest.cpp.o.d"
+  "/root/repo/tests/lang/ValidateTest.cpp" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ValidateTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_lang_tests.dir/lang/ValidateTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

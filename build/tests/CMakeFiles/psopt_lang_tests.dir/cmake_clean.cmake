@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_lang_tests.dir/lang/BuilderTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/BuilderTest.cpp.o.d"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ExprTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ExprTest.cpp.o.d"
+  "CMakeFiles/psopt_lang_tests.dir/lang/InstrTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/InstrTest.cpp.o.d"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ParserTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ProgramTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ProgramTest.cpp.o.d"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ValidateTest.cpp.o"
+  "CMakeFiles/psopt_lang_tests.dir/lang/ValidateTest.cpp.o.d"
+  "psopt_lang_tests"
+  "psopt_lang_tests.pdb"
+  "psopt_lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

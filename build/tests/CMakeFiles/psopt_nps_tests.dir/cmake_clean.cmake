@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_nps_tests.dir/nps/NPMachineTest.cpp.o"
+  "CMakeFiles/psopt_nps_tests.dir/nps/NPMachineTest.cpp.o.d"
+  "psopt_nps_tests"
+  "psopt_nps_tests.pdb"
+  "psopt_nps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_nps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

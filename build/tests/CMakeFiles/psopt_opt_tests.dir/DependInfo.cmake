@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/CSETest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/CSETest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/CSETest.cpp.o.d"
+  "/root/repo/tests/opt/ConstPropTest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/ConstPropTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/ConstPropTest.cpp.o.d"
+  "/root/repo/tests/opt/DCETest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/DCETest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/DCETest.cpp.o.d"
+  "/root/repo/tests/opt/LICMTest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/LICMTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/LICMTest.cpp.o.d"
+  "/root/repo/tests/opt/PassCorrectnessTest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/PassCorrectnessTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/PassCorrectnessTest.cpp.o.d"
+  "/root/repo/tests/opt/SimplifyCfgTest.cpp" "tests/CMakeFiles/psopt_opt_tests.dir/opt/SimplifyCfgTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_opt_tests.dir/opt/SimplifyCfgTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_opt_tests.dir/opt/CSETest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/CSETest.cpp.o.d"
+  "CMakeFiles/psopt_opt_tests.dir/opt/ConstPropTest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/ConstPropTest.cpp.o.d"
+  "CMakeFiles/psopt_opt_tests.dir/opt/DCETest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/DCETest.cpp.o.d"
+  "CMakeFiles/psopt_opt_tests.dir/opt/LICMTest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/LICMTest.cpp.o.d"
+  "CMakeFiles/psopt_opt_tests.dir/opt/PassCorrectnessTest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/PassCorrectnessTest.cpp.o.d"
+  "CMakeFiles/psopt_opt_tests.dir/opt/SimplifyCfgTest.cpp.o"
+  "CMakeFiles/psopt_opt_tests.dir/opt/SimplifyCfgTest.cpp.o.d"
+  "psopt_opt_tests"
+  "psopt_opt_tests.pdb"
+  "psopt_opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

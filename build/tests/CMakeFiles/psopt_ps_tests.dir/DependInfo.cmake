@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ps/CertificationTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/CertificationTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/CertificationTest.cpp.o.d"
+  "/root/repo/tests/ps/MemoryModelTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/MemoryModelTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/MemoryModelTest.cpp.o.d"
+  "/root/repo/tests/ps/MemoryTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/MemoryTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/MemoryTest.cpp.o.d"
+  "/root/repo/tests/ps/SemanticsTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/SemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/SemanticsTest.cpp.o.d"
+  "/root/repo/tests/ps/ThreadStepTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/ThreadStepTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/ThreadStepTest.cpp.o.d"
+  "/root/repo/tests/ps/ViewTest.cpp" "tests/CMakeFiles/psopt_ps_tests.dir/ps/ViewTest.cpp.o" "gcc" "tests/CMakeFiles/psopt_ps_tests.dir/ps/ViewTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_ps_tests.dir/ps/CertificationTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/CertificationTest.cpp.o.d"
+  "CMakeFiles/psopt_ps_tests.dir/ps/MemoryModelTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/MemoryModelTest.cpp.o.d"
+  "CMakeFiles/psopt_ps_tests.dir/ps/MemoryTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/MemoryTest.cpp.o.d"
+  "CMakeFiles/psopt_ps_tests.dir/ps/SemanticsTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/SemanticsTest.cpp.o.d"
+  "CMakeFiles/psopt_ps_tests.dir/ps/ThreadStepTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/ThreadStepTest.cpp.o.d"
+  "CMakeFiles/psopt_ps_tests.dir/ps/ViewTest.cpp.o"
+  "CMakeFiles/psopt_ps_tests.dir/ps/ViewTest.cpp.o.d"
+  "psopt_ps_tests"
+  "psopt_ps_tests.pdb"
+  "psopt_ps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_ps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_race_tests.dir/race/RaceTest.cpp.o"
+  "CMakeFiles/psopt_race_tests.dir/race/RaceTest.cpp.o.d"
+  "psopt_race_tests"
+  "psopt_race_tests.pdb"
+  "psopt_race_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_race_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_random_tests.dir/litmus/RandomPropertyTest.cpp.o"
+  "CMakeFiles/psopt_random_tests.dir/litmus/RandomPropertyTest.cpp.o.d"
+  "psopt_random_tests"
+  "psopt_random_tests.pdb"
+  "psopt_random_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_random_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

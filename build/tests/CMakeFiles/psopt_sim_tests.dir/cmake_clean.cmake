@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_sim_tests.dir/sim/SimTest.cpp.o"
+  "CMakeFiles/psopt_sim_tests.dir/sim/SimTest.cpp.o.d"
+  "psopt_sim_tests"
+  "psopt_sim_tests.pdb"
+  "psopt_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt_support_tests.dir/support/RationalTest.cpp.o"
+  "CMakeFiles/psopt_support_tests.dir/support/RationalTest.cpp.o.d"
+  "CMakeFiles/psopt_support_tests.dir/support/StatisticTest.cpp.o"
+  "CMakeFiles/psopt_support_tests.dir/support/StatisticTest.cpp.o.d"
+  "CMakeFiles/psopt_support_tests.dir/support/SymbolTest.cpp.o"
+  "CMakeFiles/psopt_support_tests.dir/support/SymbolTest.cpp.o.d"
+  "psopt_support_tests"
+  "psopt_support_tests.pdb"
+  "psopt_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/psopt_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_ps_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_nps_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_explore_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_equiv_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_race_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_random_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/psopt_opt_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psopt-cli.dir/psopt.cpp.o"
+  "CMakeFiles/psopt-cli.dir/psopt.cpp.o.d"
+  "psopt"
+  "psopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psopt-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
