@@ -82,6 +82,17 @@ struct BehaviorSet {
   /// True if any abort was observed.
   bool anyAbort() const { return !Abort.empty(); }
 
+  /// Full structural equality, statistics included. The parallel explorer
+  /// is required to be bit-identical to the sequential one under this
+  /// comparison whenever no bound trips (ParallelEquivalenceTest).
+  bool operator==(const BehaviorSet &O) const {
+    return Exhausted == O.Exhausted && NodesVisited == O.NodesVisited &&
+           UniqueStates == O.UniqueStates && Transitions == O.Transitions &&
+           Done == O.Done && Abort == O.Abort && Prefixes == O.Prefixes &&
+           Blocked == O.Blocked;
+  }
+  bool operator!=(const BehaviorSet &O) const { return !(*this == O); }
+
   std::string str() const;
 };
 

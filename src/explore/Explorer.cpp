@@ -6,12 +6,12 @@
 
 #include "explore/Explorer.h"
 #include "explore/Canonical.h"
+#include "explore/ExploreNode.h"
+#include "explore/ParallelExplorer.h"
 #include "nps/NPMachine.h"
-#include "support/Hashing.h"
 #include "support/Statistic.h"
 
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace psopt {
@@ -20,36 +20,16 @@ static Statistic NumExploreNodes("explore", "nodes", "nodes expanded");
 static Statistic NumExploreTransitions("explore", "transitions",
                                        "machine transitions explored");
 
-namespace {
+namespace detail {
+Statistic &numExploreNodes() { return NumExploreNodes; }
+Statistic &numExploreTransitions() { return NumExploreTransitions; }
+} // namespace detail
 
-struct Node {
-  MachineState State; // canonical
-  Trace Outs;
+using Node = ExploreNode;
+using NodeHash = ExploreNodeHash;
 
-  bool operator==(const Node &O) const {
-    return Outs == O.Outs && State == O.State;
-  }
-};
-
-struct NodeHash {
-  std::size_t operator()(const Node &N) const {
-    std::size_t Seed = N.State.hash();
-    for (Val V : N.Outs)
-      hashCombineValue(Seed, V);
-    return hashFinalize(Seed);
-  }
-};
-
-} // namespace
-
-BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
+static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
   BehaviorSet B;
-  if (!M.initial()) {
-    // A thread entry is missing: the only behavior is immediate abort.
-    B.Abort.insert(Trace{});
-    B.Prefixes.insert(Trace{});
-    return B;
-  }
 
   Node Start{*M.initial(), {}};
   canonicalizeState(Start.State);
@@ -63,12 +43,15 @@ BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
   while (!Work.empty()) {
     Node N = std::move(Work.front());
     Work.pop_front();
-    if (!Visited.insert(N).second)
+    if (Visited.count(N))
       continue;
-    if (Visited.size() > C.MaxNodes) {
+    // Node bound: checked *before* expansion, so exactly MaxNodes nodes
+    // are ever expanded and NodesVisited never exceeds the bound.
+    if (Visited.size() >= C.MaxNodes) {
       B.Exhausted = false;
       break;
     }
+    Visited.insert(N);
     ++NumExploreNodes;
     StateHashes.insert(N.State.hash());
     B.Prefixes.insert(N.Outs);
@@ -92,9 +75,10 @@ BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
         break;
       case MachineEvent::Kind::Out: {
         if (N.Outs.size() >= C.MaxOuts) {
-          // Trace bound: record the prefix and stop extending it.
+          // Trace bound: record the cutoff and move on to the *next*
+          // successor — sibling Tau/Abort successors are still explored.
           B.Exhausted = false;
-          break;
+          continue;
         }
         Node Child{std::move(S.State), N.Outs};
         Child.Outs.push_back(S.Ev.OutVal);
@@ -115,6 +99,19 @@ BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
   B.NodesVisited = Visited.size();
   B.UniqueStates = StateHashes.size();
   return B;
+}
+
+BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
+  if (!M.initial()) {
+    // A thread entry is missing: the only behavior is immediate abort.
+    BehaviorSet B;
+    B.Abort.insert(Trace{});
+    B.Prefixes.insert(Trace{});
+    return B;
+  }
+  if (C.Jobs > 1)
+    return ParallelExplorer(M, C).run();
+  return exploreSequential(M, C);
 }
 
 BehaviorSet exploreInterleaving(const Program &P, const StepConfig &SC,

@@ -16,6 +16,13 @@
 /// states and terminate the search. The bounds below are safety nets whose
 /// violation flips BehaviorSet::Exhausted to false.
 ///
+/// Exploration is embarrassingly order-independent: because the visited
+/// set deduplicates exactly and BehaviorSet stores ordered sets, any
+/// schedule of node expansions that covers the reachable graph yields the
+/// same BehaviorSet. ExploreConfig::Jobs > 1 exploits this by expanding
+/// the frontier with a worker pool (see ParallelExplorer.h); Jobs == 1
+/// keeps the classic single-threaded BFS byte-for-byte unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSOPT_EXPLORE_EXPLORER_H
@@ -26,10 +33,16 @@
 
 namespace psopt {
 
-/// Exploration bounds.
+/// Exploration bounds and parallelism.
 struct ExploreConfig {
   std::uint64_t MaxNodes = 2'000'000; ///< (state, trace) pairs expanded
   unsigned MaxOuts = 32;              ///< outputs per trace
+
+  /// Worker threads expanding the frontier. 1 selects the sequential
+  /// engine; K > 1 selects the parallel engine, which produces an
+  /// identical BehaviorSet (asserted across the litmus registry and
+  /// random programs in tests/explore/ParallelEquivalenceTest.cpp).
+  unsigned Jobs = 1;
 };
 
 /// Explores \p M exhaustively (within \p C) and returns its behaviors.

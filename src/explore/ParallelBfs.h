@@ -1,0 +1,214 @@
+//===- explore/ParallelBfs.h - Work-stealing parallel BFS -------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable parallel graph-search engine: a worker pool expands nodes
+/// from per-worker deques with stealing, deduplicating through a sharded,
+/// striped-lock visited table. Both the parallel explorer (nodes are
+/// (state, trace) pairs) and the parallel race checker (nodes are bare
+/// machine states) instantiate it.
+///
+/// Guarantees:
+///  * each unique node (under HashT/operator==) is visited exactly once;
+///  * at most MaxNodes nodes are ever visited — the (MaxNodes+1)-th
+///    insertion attempt trips the bound, after which workers drain their
+///    queues without expanding (mirroring the sequential engines' break);
+///  * the visit count is deterministic: min(|reachable graph|, MaxNodes).
+///
+/// Shard selection uses the *high* bits of the node hash; unordered_set
+/// buckets use the low bits, so striping does not correlate with bucket
+/// placement inside a shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_PARALLELBFS_H
+#define PSOPT_EXPLORE_PARALLELBFS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace psopt {
+
+/// Number of visited-table shards for a given worker count: enough stripes
+/// that workers rarely collide, bounded so empty shards stay cheap.
+inline unsigned parallelBfsShardCount(unsigned Jobs) {
+  unsigned Want = Jobs * 4;
+  unsigned Shards = 16;
+  while (Shards < Want && Shards < 256)
+    Shards *= 2;
+  return Shards;
+}
+
+template <typename NodeT, typename HashT> class ParallelBfs {
+public:
+  struct Stats {
+    std::uint64_t Expanded = 0; ///< unique nodes visited
+    bool NodeBoundHit = false;  ///< MaxNodes tripped (search incomplete)
+    bool StoppedEarly = false;  ///< stop() was called from a visitor
+  };
+
+  ParallelBfs(unsigned Jobs, std::uint64_t MaxNodes)
+      : Jobs(Jobs < 1 ? 1 : Jobs), MaxNodes(MaxNodes),
+        Shards(parallelBfsShardCount(this->Jobs)), Queues(this->Jobs) {
+    unsigned Bits = 0;
+    for (unsigned N = 1; N < Shards.size(); N *= 2)
+      ++Bits;
+    ShardShift = 8 * sizeof(std::size_t) - Bits;
+  }
+
+  unsigned jobs() const { return Jobs; }
+
+  /// Requests early termination (e.g. a race witness was found): pending
+  /// nodes are drained but no further node is visited. The verdict of a
+  /// stopped search is decided by the caller; the node bound is not
+  /// considered hit.
+  void stop() {
+    StoppedEarly.store(true, std::memory_order_relaxed);
+    Stop.store(true, std::memory_order_relaxed);
+  }
+
+  /// Runs the search from \p Root. \p Visit is invoked exactly once per
+  /// unique node, concurrently from up to Jobs workers, as
+  ///   Visit(WorkerId, const NodeT &, Push)
+  /// where Push(NodeT &&) enqueues a child; duplicates are filtered at
+  /// expansion time. Single-shot: construct a fresh engine per search.
+  template <typename VisitT> Stats run(NodeT Root, VisitT &&Visit) {
+    pushWork(0, std::move(Root));
+    // The calling thread doubles as worker 0; only Jobs - 1 threads spawn.
+    std::vector<std::thread> Workers;
+    Workers.reserve(Jobs - 1);
+    for (unsigned W = 1; W < Jobs; ++W)
+      Workers.emplace_back([this, W, &Visit] { workerLoop(W, Visit); });
+    workerLoop(0, Visit);
+    for (std::thread &T : Workers)
+      T.join();
+    Stats S;
+    S.Expanded = Claimed.load(std::memory_order_relaxed);
+    S.NodeBoundHit = NodeBound.load(std::memory_order_relaxed);
+    S.StoppedEarly = StoppedEarly.load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  struct VisitedShard {
+    std::mutex M;
+    std::unordered_set<NodeT, HashT> Set;
+  };
+
+  struct WorkQueue {
+    std::mutex M;
+    std::deque<NodeT> D;
+  };
+
+  void pushWork(unsigned W, NodeT &&N) {
+    Pending.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(Queues[W].M);
+    Queues[W].D.push_back(std::move(N));
+  }
+
+  /// Pops from the owner's tail, else steals from a victim's head.
+  std::optional<NodeT> popWork(unsigned W) {
+    {
+      WorkQueue &Q = Queues[W];
+      std::lock_guard<std::mutex> Lock(Q.M);
+      if (!Q.D.empty()) {
+        NodeT N = std::move(Q.D.back());
+        Q.D.pop_back();
+        return N;
+      }
+    }
+    for (unsigned I = 1; I < Jobs; ++I) {
+      WorkQueue &Q = Queues[(W + I) % Jobs];
+      std::lock_guard<std::mutex> Lock(Q.M);
+      if (!Q.D.empty()) {
+        NodeT N = std::move(Q.D.front());
+        Q.D.pop_front();
+        return N;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Claims one of the MaxNodes visit tickets; failure trips the bound.
+  bool claimTicket() {
+    std::uint64_t Cur = Claimed.load(std::memory_order_relaxed);
+    while (Cur < MaxNodes)
+      if (Claimed.compare_exchange_weak(Cur, Cur + 1,
+                                        std::memory_order_relaxed))
+        return true;
+    return false;
+  }
+
+  template <typename VisitT> void workerLoop(unsigned W, VisitT &Visit) {
+    auto Push = [this, W](NodeT &&N) { pushWork(W, std::move(N)); };
+    unsigned IdleSpins = 0;
+    for (;;) {
+      std::optional<NodeT> N = popWork(W);
+      if (!N) {
+        if (Pending.load(std::memory_order_acquire) == 0)
+          return;
+        // Work exists (or is in flight) but not reachable yet: back off.
+        if (++IdleSpins < 64)
+          std::this_thread::yield();
+        else
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      IdleSpins = 0;
+      expand(W, std::move(*N), Visit, Push);
+      Pending.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  template <typename VisitT, typename PushT>
+  void expand(unsigned W, NodeT &&N, VisitT &Visit, PushT &Push) {
+    if (Stop.load(std::memory_order_relaxed))
+      return; // draining after a bound trip or stop(): don't expand
+    std::size_t H = HashT{}(N);
+    VisitedShard &S = Shards[H >> ShardShift];
+    const NodeT *Ref;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto [It, IsNew] = S.Set.insert(std::move(N));
+      if (!IsNew)
+        return;
+      if (!claimTicket()) {
+        // Over budget: leave the table exactly MaxNodes strong.
+        S.Set.erase(It);
+        NodeBound.store(true, std::memory_order_relaxed);
+        Stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      // Element addresses in unordered_set survive rehashing, so the
+      // reference stays valid outside the lock; nodes are never erased
+      // after a successful claim.
+      Ref = &*It;
+    }
+    Visit(W, *Ref, Push);
+  }
+
+  const unsigned Jobs;
+  const std::uint64_t MaxNodes;
+  unsigned ShardShift = 0;
+  std::vector<VisitedShard> Shards;
+  std::vector<WorkQueue> Queues;
+  std::atomic<std::uint64_t> Pending{0};
+  std::atomic<std::uint64_t> Claimed{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> NodeBound{false};
+  std::atomic<bool> StoppedEarly{false};
+};
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_PARALLELBFS_H

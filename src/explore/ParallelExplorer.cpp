@@ -1,0 +1,137 @@
+//===- explore/ParallelExplorer.cpp - Parallel exploration -------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ParallelExplorer.h"
+#include "explore/Canonical.h"
+#include "explore/ExploreNode.h"
+#include "explore/ParallelBfs.h"
+#include "support/Statistic.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace psopt {
+
+namespace {
+
+/// Worker-private partial result; merged into the final BehaviorSet after
+/// the pool joins. Padded out to a cache line so neighboring workers'
+/// counters don't false-share.
+struct alignas(64) PartialBehavior {
+  std::set<Trace> Done;
+  std::set<Trace> Abort;
+  std::set<Trace> Blocked;
+  std::set<Trace> Prefixes;
+  std::uint64_t Transitions = 0;
+  std::vector<MachineSuccessor> SuccBuf; // reused across expansions
+};
+
+/// Sharded set of canonical-state hashes (UniqueStates accounting).
+/// Sharded by the *high* bits of the state hash, so shard sizes sum to the
+/// global distinct count.
+struct alignas(64) StateHashShard {
+  std::mutex M;
+  std::unordered_set<std::size_t> Set;
+};
+
+} // namespace
+
+BehaviorSet ParallelExplorer::run() const {
+  BehaviorSet B;
+  if (!M->initial()) {
+    B.Abort.insert(Trace{});
+    B.Prefixes.insert(Trace{});
+    return B;
+  }
+
+  ExploreNode Start{*M->initial(), {}};
+  canonicalizeState(Start.State);
+
+  const unsigned Jobs = C.Jobs < 1 ? 1 : C.Jobs;
+  ParallelBfs<ExploreNode, ExploreNodeHash> Engine(Jobs, C.MaxNodes);
+
+  std::vector<PartialBehavior> Partials(Jobs);
+  std::vector<StateHashShard> StateShards(parallelBfsShardCount(Jobs));
+  unsigned StateShardBits = 0;
+  for (std::size_t N = 1; N < StateShards.size(); N *= 2)
+    ++StateShardBits;
+  const unsigned StateShardShift = 8 * sizeof(std::size_t) - StateShardBits;
+  std::atomic<bool> OutBoundHit{false};
+
+  Statistic &NodeStat = detail::numExploreNodes();
+  Statistic &TransStat = detail::numExploreTransitions();
+
+  auto Visit = [&](unsigned W, const ExploreNode &N, auto &&Push) {
+    ++NodeStat;
+    PartialBehavior &L = Partials[W];
+
+    std::size_t SH = N.State.hash();
+    {
+      StateHashShard &S = StateShards[SH >> StateShardShift];
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Set.insert(SH);
+    }
+    L.Prefixes.insert(N.Outs);
+
+    if (N.State.allTerminated()) {
+      L.Done.insert(N.Outs);
+      return;
+    }
+
+    std::vector<MachineSuccessor> &Succs = L.SuccBuf;
+    M->successors(N.State, Succs);
+    if (Succs.empty()) {
+      L.Blocked.insert(N.Outs);
+      return;
+    }
+    for (MachineSuccessor &S : Succs) {
+      TransStat += 1;
+      ++L.Transitions;
+      switch (S.Ev.K) {
+      case MachineEvent::Kind::Abort:
+        L.Abort.insert(N.Outs);
+        break;
+      case MachineEvent::Kind::Out: {
+        if (N.Outs.size() >= C.MaxOuts) {
+          OutBoundHit.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        ExploreNode Child{std::move(S.State), N.Outs};
+        Child.Outs.push_back(S.Ev.OutVal);
+        canonicalizeState(Child.State);
+        Push(std::move(Child));
+        break;
+      }
+      case MachineEvent::Kind::Tau: {
+        ExploreNode Child{std::move(S.State), N.Outs};
+        canonicalizeState(Child.State);
+        Push(std::move(Child));
+        break;
+      }
+      }
+    }
+  };
+
+  auto Stats = Engine.run(std::move(Start), Visit);
+
+  // Deterministic merge: set unions are insertion-order independent and
+  // the counters are sums over the exactly-once visited nodes.
+  for (PartialBehavior &L : Partials) {
+    B.Done.insert(L.Done.begin(), L.Done.end());
+    B.Abort.insert(L.Abort.begin(), L.Abort.end());
+    B.Blocked.insert(L.Blocked.begin(), L.Blocked.end());
+    B.Prefixes.insert(L.Prefixes.begin(), L.Prefixes.end());
+    B.Transitions += L.Transitions;
+  }
+  B.Exhausted =
+      !Stats.NodeBoundHit && !OutBoundHit.load(std::memory_order_relaxed);
+  B.NodesVisited = Stats.Expanded;
+  for (StateHashShard &S : StateShards)
+    B.UniqueStates += S.Set.size();
+  return B;
+}
+
+} // namespace psopt

@@ -1,0 +1,49 @@
+//===- explore/ParallelExplorer.h - Parallel exploration --------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel exploration engine behind ExploreConfig::Jobs > 1. A
+/// ParallelBfs worker pool expands (state, trace) nodes concurrently —
+/// Machine::successors, certification included, is const and touches no
+/// shared mutable state, so the expensive per-node work runs without
+/// synchronization; only visited-table shards and work deques take locks.
+///
+/// Determinism: each worker accumulates a private partial BehaviorSet;
+/// partials are merged at the end. Because the sets are ordered and the
+/// visited table deduplicates exactly, the merged BehaviorSet is identical
+/// to the sequential explorer's whenever no bound trips, including the
+/// NodesVisited / UniqueStates / Transitions counters. When a bound trips,
+/// Exhausted is false on both engines and the sets are (possibly
+/// different) under-approximations — the engine never reports
+/// Exhausted == true after any bound trip. See DESIGN.md §7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_PARALLELEXPLORER_H
+#define PSOPT_EXPLORE_PARALLELEXPLORER_H
+
+#include "explore/Explorer.h"
+
+namespace psopt {
+
+/// Explores \p M with a worker pool. explore() dispatches here when
+/// C.Jobs > 1; callable directly (Jobs == 1 runs the pool path with one
+/// worker, useful for testing the engine itself).
+class ParallelExplorer {
+public:
+  ParallelExplorer(const Machine &M, const ExploreConfig &C)
+      : M(&M), C(C) {}
+
+  BehaviorSet run() const;
+
+private:
+  const Machine *M;
+  ExploreConfig C;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_PARALLELEXPLORER_H

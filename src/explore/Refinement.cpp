@@ -52,4 +52,20 @@ RefinementResult checkEquivalence(const BehaviorSet &A, const BehaviorSet &B) {
   return R2;
 }
 
+RefinementResult checkRefinement(const Program &Target, const Program &Source,
+                                 const StepConfig &SC,
+                                 const ExploreConfig &C) {
+  BehaviorSet TB = exploreInterleaving(Target, SC, C);
+  BehaviorSet SB = exploreInterleaving(Source, SC, C);
+  return checkRefinement(TB, SB);
+}
+
+RefinementResult checkMachineEquivalence(const Program &P,
+                                         const StepConfig &SC,
+                                         const ExploreConfig &C) {
+  BehaviorSet Inter = exploreInterleaving(P, SC, C);
+  BehaviorSet NP = exploreNonPreemptive(P, SC, C);
+  return checkEquivalence(NP, Inter);
+}
+
 } // namespace psopt

@@ -19,7 +19,7 @@
 #ifndef PSOPT_EXPLORE_REFINEMENT_H
 #define PSOPT_EXPLORE_REFINEMENT_H
 
-#include "explore/Behavior.h"
+#include "explore/Explorer.h"
 
 namespace psopt {
 
@@ -39,6 +39,18 @@ RefinementResult checkRefinement(const BehaviorSet &Target,
 
 /// Checks behavioral equivalence (refinement in both directions).
 RefinementResult checkEquivalence(const BehaviorSet &A, const BehaviorSet &B);
+
+/// Explores both programs under the interleaving machine, forwarding \p C
+/// (including Jobs to the parallel engine), then checks Target ⊆ Source.
+RefinementResult checkRefinement(const Program &Target, const Program &Source,
+                                 const StepConfig &SC = {},
+                                 const ExploreConfig &C = {});
+
+/// Thm 4.1 on one program: explores \p P under the interleaving and
+/// non-preemptive machines (forwarding \p C) and checks equivalence.
+RefinementResult checkMachineEquivalence(const Program &P,
+                                         const StepConfig &SC = {},
+                                         const ExploreConfig &C = {});
 
 } // namespace psopt
 

@@ -6,10 +6,12 @@
 
 #include "race/WWRace.h"
 #include "explore/Canonical.h"
+#include "explore/ParallelBfs.h"
 #include "nps/NPMachine.h"
 #include "support/Hashing.h"
 
 #include <deque>
+#include <mutex>
 #include <unordered_set>
 
 namespace psopt {
@@ -43,10 +45,68 @@ std::optional<RaceWitness> stateHasWWRace(const Program &P,
   return std::nullopt;
 }
 
+namespace {
+
+struct StateHash {
+  std::size_t operator()(const MachineState &S) const { return S.hash(); }
+};
+
+} // namespace
+
+/// Race detection is trace-insensitive: both engines memoize on states
+/// alone. The parallel engine stops the pool as soon as any worker finds a
+/// witness; the verdict matches the sequential engine on unbounded runs
+/// because racy-state reachability does not depend on search order.
+static RaceCheckResult
+checkRaceFreedomParallel(const Machine &M, const RaceCheckConfig &C,
+                         const std::function<std::optional<RaceWitness>(
+                             const Program &, const MachineState &)> &Predicate) {
+  RaceCheckResult R;
+  if (!M.initial())
+    return R; // No execution, no race.
+
+  MachineState Start = *M.initial();
+  canonicalizeState(Start);
+
+  ParallelBfs<MachineState, StateHash> Engine(C.Jobs, C.MaxNodes);
+  std::mutex WitnessMutex;
+  std::vector<std::vector<MachineSuccessor>> SuccBufs(Engine.jobs());
+
+  auto Visit = [&](unsigned W, const MachineState &S, auto &&Push) {
+    if (auto Witness = Predicate(M.program(), S)) {
+      std::lock_guard<std::mutex> Lock(WitnessMutex);
+      if (!R.Witness) {
+        R.RaceFree = false;
+        R.Witness = std::move(Witness);
+      }
+      Engine.stop();
+      return;
+    }
+    std::vector<MachineSuccessor> &Succs = SuccBufs[W];
+    M.successors(S, Succs);
+    for (MachineSuccessor &MS : Succs) {
+      if (MS.Ev.K == MachineEvent::Kind::Abort)
+        continue;
+      canonicalizeState(MS.State);
+      Push(std::move(MS.State));
+    }
+  };
+
+  auto Stats = Engine.run(std::move(Start), Visit);
+  R.StatesChecked = Stats.Expanded;
+  // A found witness is a definite verdict even though the search stopped
+  // early; only the node bound makes the answer approximate.
+  R.Exact = !Stats.NodeBoundHit;
+  return R;
+}
+
 RaceCheckResult
 checkRaceFreedom(const Machine &M, const RaceCheckConfig &C,
                  const std::function<std::optional<RaceWitness>(
                      const Program &, const MachineState &)> &Predicate) {
+  if (C.Jobs > 1)
+    return checkRaceFreedomParallel(M, C, Predicate);
+
   RaceCheckResult R;
   if (!M.initial())
     return R; // No execution, no race.
@@ -56,10 +116,6 @@ checkRaceFreedom(const Machine &M, const RaceCheckConfig &C,
 
   // Race detection is trace-insensitive: memoize on states alone.
   std::deque<MachineState> Work;
-
-  struct StateHash {
-    std::size_t operator()(const MachineState &S) const { return S.hash(); }
-  };
   std::unordered_set<MachineState, StateHash> Visited;
 
   Work.push_back(std::move(Start));
@@ -67,12 +123,14 @@ checkRaceFreedom(const Machine &M, const RaceCheckConfig &C,
   while (!Work.empty()) {
     MachineState S = std::move(Work.front());
     Work.pop_front();
-    if (!Visited.insert(S).second)
+    if (Visited.count(S))
       continue;
-    if (Visited.size() > C.MaxNodes) {
+    // Node bound: checked before expansion, mirroring the explorer.
+    if (Visited.size() >= C.MaxNodes) {
       R.Exact = false;
       break;
     }
+    Visited.insert(S);
     ++R.StatesChecked;
 
     if (auto W = Predicate(M.program(), S)) {

@@ -56,6 +56,12 @@ struct RaceCheckResult {
 /// Exploration bounds for race checking (reuses the explorer's node bound).
 struct RaceCheckConfig {
   std::uint64_t MaxNodes = 2'000'000;
+
+  /// Worker threads for the reachability search; 1 = sequential. The
+  /// race-free/racy verdict is schedule-independent (the search covers
+  /// the same reachable state set), but the reported witness may differ
+  /// between runs when several racy states exist.
+  unsigned Jobs = 1;
 };
 
 /// ww-RF(P): no reachable interleaving-machine state generates a ww race.

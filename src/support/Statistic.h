@@ -7,14 +7,17 @@
 /// \file
 /// Named counters in the style of llvm/ADT/Statistic.h. Modules register
 /// counters at namespace scope; tools and benches can dump or reset the
-/// whole registry. Counters are process-global and not thread-safe: the
-/// explorer is single-threaded by design (determinism).
+/// whole registry. Counters are process-global and thread-safe: increments
+/// are relaxed atomics, so the parallel explorer's workers can bump them
+/// concurrently without tearing (exact totals, no ordering guarantees
+/// between counters while workers are running).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSOPT_SUPPORT_STATISTIC_H
 #define PSOPT_SUPPORT_STATISTIC_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,15 +30,15 @@ public:
   Statistic(const char *Group, const char *Name, const char *Desc);
 
   Statistic &operator++() {
-    ++Value;
+    Value.fetch_add(1, std::memory_order_relaxed);
     return *this;
   }
   Statistic &operator+=(std::uint64_t N) {
-    Value += N;
+    Value.fetch_add(N, std::memory_order_relaxed);
     return *this;
   }
-  std::uint64_t value() const { return Value; }
-  void reset() { Value = 0; }
+  std::uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
 
   const char *group() const { return Group; }
   const char *name() const { return Name; }
@@ -45,7 +48,7 @@ private:
   const char *Group;
   const char *Name;
   const char *Desc;
-  std::uint64_t Value = 0;
+  std::atomic<std::uint64_t> Value{0};
 };
 
 /// Returns all registered statistics (stable registration order).

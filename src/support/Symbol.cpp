@@ -7,16 +7,23 @@
 #include "support/Symbol.h"
 #include "support/Debug.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 namespace psopt {
 namespace detail {
 
 namespace {
+// Interning normally happens up front (parsing, program construction), but
+// the parallel explorer's workers may render diagnostics concurrently, so
+// the tables take a lock on every access. Names is a deque: references
+// handed out by symbolName stay valid across later interning (a vector
+// would invalidate them on growth).
 struct SymbolTable {
+  std::mutex M;
   std::unordered_map<std::string, std::uint32_t> Ids;
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
 };
 
 SymbolTable &tableFor(unsigned Space) {
@@ -28,6 +35,7 @@ SymbolTable &tableFor(unsigned Space) {
 
 std::uint32_t internSymbol(unsigned Space, const std::string &Name) {
   SymbolTable &T = tableFor(Space);
+  std::lock_guard<std::mutex> Lock(T.M);
   auto It = T.Ids.find(Name);
   if (It != T.Ids.end())
     return It->second;
@@ -39,20 +47,28 @@ std::uint32_t internSymbol(unsigned Space, const std::string &Name) {
 
 const std::string &symbolName(unsigned Space, std::uint32_t Id) {
   SymbolTable &T = tableFor(Space);
+  std::lock_guard<std::mutex> Lock(T.M);
   PSOPT_CHECK(Id < T.Names.size(), "symbol id out of range");
   return T.Names[Id];
 }
 
 std::uint32_t symbolCount(unsigned Space) {
-  return static_cast<std::uint32_t>(tableFor(Space).Names.size());
+  SymbolTable &T = tableFor(Space);
+  std::lock_guard<std::mutex> Lock(T.M);
+  return static_cast<std::uint32_t>(T.Names.size());
 }
 
 std::uint32_t freshSymbol(unsigned Space, const std::string &Prefix) {
   SymbolTable &T = tableFor(Space);
+  std::lock_guard<std::mutex> Lock(T.M);
   for (unsigned N = 0;; ++N) {
     std::string Candidate = Prefix + "$" + std::to_string(N);
-    if (!T.Ids.count(Candidate))
-      return internSymbol(Space, Candidate);
+    if (!T.Ids.count(Candidate)) {
+      std::uint32_t Id = static_cast<std::uint32_t>(T.Names.size());
+      T.Ids.emplace(Candidate, Id);
+      T.Names.push_back(std::move(Candidate));
+      return Id;
+    }
   }
 }
 

@@ -38,6 +38,49 @@ TEST(ExplorerTest, NodeBoundFlipsExhausted) {
   EXPECT_TRUE(Full.Exhausted);
 }
 
+TEST(ExplorerTest, NodeBoundCutoffIsExact) {
+  // The bound is checked *before* expansion: a run that trips it expands
+  // exactly MaxNodes nodes (regression: the old post-insertion check let
+  // NodesVisited reach MaxNodes + 1), and a bound equal to the graph size
+  // never trips.
+  Program P = parseProgramOrDie(R"(var x atomic;
+    func f { block 0: x.rlx := 1; x.rlx := 2; x.rlx := 3; ret; }
+    func g { block 0: r := x.rlx; r := x.rlx; ret; }
+    thread f; thread g;)");
+  BehaviorSet Full = exploreInterleaving(P);
+  ASSERT_TRUE(Full.Exhausted);
+  ASSERT_GT(Full.NodesVisited, 5u);
+
+  ExploreConfig Tight;
+  Tight.MaxNodes = 5;
+  BehaviorSet Cut = exploreInterleaving(P, StepConfig{}, Tight);
+  EXPECT_FALSE(Cut.Exhausted);
+  EXPECT_EQ(Cut.NodesVisited, 5u);
+
+  ExploreConfig AtSize;
+  AtSize.MaxNodes = Full.NodesVisited;
+  BehaviorSet Exact = exploreInterleaving(P, StepConfig{}, AtSize);
+  EXPECT_TRUE(Exact.Exhausted);
+  EXPECT_EQ(Exact.NodesVisited, Full.NodesVisited);
+}
+
+TEST(ExplorerTest, OutBoundKeepsSiblingSuccessors) {
+  // f prints forever; g aborts (jump to a missing block). At the trace
+  // bound f's print successor is cut per-successor, so g's abort sibling
+  // from the same node must still be recorded.
+  Program P = parseProgramOrDie(R"(
+    func f { block 0: print(7); jmp 0; }
+    func g { block 0: jmp 9; }
+    thread f; thread g;)");
+  ExploreConfig C;
+  C.MaxOuts = 2;
+  BehaviorSet B = exploreInterleaving(P, StepConfig{}, C);
+  EXPECT_FALSE(B.Exhausted);
+  EXPECT_TRUE(B.Abort.count(Trace{7, 7}));
+  EXPECT_TRUE(B.Prefixes.count(Trace{7, 7}));
+  EXPECT_FALSE(B.Prefixes.count(Trace{7, 7, 7}));
+}
+
 TEST(ExplorerTest, OutBoundTruncatesTraces) {
   // An infinite printing loop: the MaxOuts bound cuts traces and reports
   // non-exhaustiveness, but all shorter prefixes are collected.

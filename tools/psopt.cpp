@@ -6,15 +6,15 @@
 //
 // A command-line front end to the workbench:
 //
-//   psopt explore  <file> [--np] [--no-promises] [--max-nodes=N]
+//   psopt explore  <file> [--np] [--no-promises] [--max-nodes=N] [--jobs=N]
 //       enumerate all behaviors (interleaving or non-preemptive machine)
-//   psopt race     <file> [--np] [--rw] [--no-promises]
+//   psopt race     <file> [--np] [--rw] [--no-promises] [--jobs=N]
 //       check write-write (or read-write) race freedom
 //   psopt optimize <file> --passes=constprop,dce,cse,licm,simplifycfg
 //       run passes and print the optimized program
-//   psopt refine   <target> <source> [--no-promises]
+//   psopt refine   <target> <source> [--no-promises] [--jobs=N]
 //       check event-trace refinement target ⊆ source
-//   psopt equiv    <file> [--no-promises]
+//   psopt equiv    <file> [--no-promises] [--jobs=N]
 //       check interleaving ≈ non-preemptive (Thm 4.1) on one program
 //   psopt witness  <file> --trace=v1,v2,... [--end=done|abort|partial]
 //       reconstruct an execution producing the given outputs
@@ -52,6 +52,7 @@ struct Options {
   bool NoPromises = false;
   bool RwRace = false;
   std::uint64_t MaxNodes = 2'000'000;
+  unsigned Jobs = 1;
   std::string Passes;
   std::string TraceSpec;
   std::string End = "done";
@@ -61,13 +62,14 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: psopt <command> [args]\n"
-      "  explore  <file> [--np] [--no-promises] [--max-nodes=N]\n"
-      "  race     <file> [--np] [--rw] [--no-promises]\n"
+      "  explore  <file> [--np] [--no-promises] [--max-nodes=N] [--jobs=N]\n"
+      "  race     <file> [--np] [--rw] [--no-promises] [--jobs=N]\n"
       "  optimize <file> --passes=constprop,dce,cse,licm,simplifycfg\n"
-      "  refine   <target> <source> [--no-promises]\n"
-      "  equiv    <file> [--no-promises]\n"
+      "  refine   <target> <source> [--no-promises] [--jobs=N]\n"
+      "  equiv    <file> [--no-promises] [--jobs=N]\n"
       "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
-      "  litmus   [name]\n");
+      "  litmus   [name]\n"
+      "--jobs=N explores with N worker threads (identical BehaviorSet).\n");
   return 2;
 }
 
@@ -82,6 +84,8 @@ bool parseArgs(int argc, char **argv, Options &O) {
       O.RwRace = true;
     else if (A.rfind("--max-nodes=", 0) == 0)
       O.MaxNodes = std::stoull(A.substr(12));
+    else if (A.rfind("--jobs=", 0) == 0)
+      O.Jobs = static_cast<unsigned>(std::stoul(A.substr(7)));
     else if (A.rfind("--passes=", 0) == 0)
       O.Passes = A.substr(9);
     else if (A.rfind("--trace=", 0) == 0)
@@ -124,9 +128,15 @@ StepConfig stepConfig(const Options &O) {
   return SC;
 }
 
-BehaviorSet exploreWith(const Options &O, const Program &P) {
+ExploreConfig exploreConfig(const Options &O) {
   ExploreConfig EC;
   EC.MaxNodes = O.MaxNodes;
+  EC.Jobs = O.Jobs;
+  return EC;
+}
+
+BehaviorSet exploreWith(const Options &O, const Program &P) {
+  ExploreConfig EC = exploreConfig(O);
   return O.NonPreemptive ? exploreNonPreemptive(P, stepConfig(O), EC)
                          : exploreInterleaving(P, stepConfig(O), EC);
 }
@@ -150,6 +160,7 @@ int cmdRace(const Options &O) {
     return 2;
   RaceCheckConfig RC;
   RC.MaxNodes = O.MaxNodes;
+  RC.Jobs = O.Jobs;
   RaceCheckResult R;
   if (O.RwRace)
     R = checkRWRaceFreedom(P, stepConfig(O), RC);
@@ -223,8 +234,7 @@ int cmdEquiv(const Options &O) {
   Program P;
   if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
     return 2;
-  ExploreConfig EC;
-  EC.MaxNodes = O.MaxNodes;
+  ExploreConfig EC = exploreConfig(O);
   BehaviorSet Inter = exploreInterleaving(P, stepConfig(O), EC);
   BehaviorSet NP = exploreNonPreemptive(P, stepConfig(O), EC);
   RefinementResult R = checkEquivalence(NP, Inter);
