@@ -5,86 +5,25 @@
 //===----------------------------------------------------------------------===//
 
 #include "explore/Canonical.h"
-
-#include <map>
+#include "ps/TimeRename.h"
 
 namespace psopt {
 
-namespace {
-
-/// Collects timestamps into an order-preserving renaming table, then
-/// rewrites in a second pass.
-class Renamer {
-public:
-  void note(const Time &T) { Table.emplace(T, Time(0)); }
-
-  void noteTimeMap(const TimeMap &TM) {
-    for (const auto &[X, T] : TM.entries())
-      note(T);
-  }
-
-  void noteView(const View &V) {
-    noteTimeMap(V.Na);
-    noteTimeMap(V.Rlx);
-  }
-
-  void freeze() {
-    std::int64_t Next = 0;
-    for (auto &[Old, New] : Table)
-      New = Time(Next++);
-  }
-
-  Time map(const Time &T) const {
-    auto It = Table.find(T);
-    // Every timestamp in the state was noted in pass one.
-    return It->second;
-  }
-
-  TimeMap mapTimeMap(const TimeMap &TM) const {
-    TimeMap Out;
-    for (const auto &[X, T] : TM.entries())
-      Out.set(X, map(T));
-    return Out;
-  }
-
-  View mapView(const View &V) const {
-    View Out;
-    Out.Na = mapTimeMap(V.Na);
-    Out.Rlx = mapTimeMap(V.Rlx);
-    return Out;
-  }
-
-private:
-  std::map<Time, Time> Table;
-};
-
-} // namespace
-
 void canonicalizeState(MachineState &S) {
-  Renamer R;
+  TimeRenamer R;
   R.note(Time(0)); // 0 must stay the least timestamp (absent map entries).
-
-  for (const auto &[X, Ms] : S.Mem.storage()) {
-    for (const Message &M : Ms) {
-      R.note(M.From);
-      R.note(M.To);
-      R.noteView(M.MsgView);
-    }
-  }
+  R.noteMemory(S.Mem);
   for (const ThreadState &TS : S.Threads)
     R.noteView(TS.V);
 
   R.freeze();
 
-  for (auto &[X, Ms] : S.Mem.storage()) {
-    for (Message &M : Ms) {
-      M.From = R.map(M.From);
-      M.To = R.map(M.To);
-      M.MsgView = R.mapView(M.MsgView);
-    }
-  }
-  for (ThreadState &TS : S.Threads)
+  R.rewriteMemory(S.Mem);
+  for (ThreadState &TS : S.Threads) {
     TS.V = R.mapView(TS.V);
+    TS.invalidateHash();
+  }
+  S.invalidateHash();
 }
 
 } // namespace psopt

@@ -43,27 +43,32 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
   while (!Work.empty()) {
     Node N = std::move(Work.front());
     Work.pop_front();
-    if (Visited.count(N))
+    // One hash lookup: insert claims the node; a duplicate is skipped
+    // without a second probe.
+    auto [It, IsNew] = Visited.insert(std::move(N));
+    if (!IsNew)
       continue;
-    // Node bound: checked *before* expansion, so exactly MaxNodes nodes
-    // are ever expanded and NodesVisited never exceeds the bound.
-    if (Visited.size() >= C.MaxNodes) {
+    // Node bound: exactly MaxNodes nodes are ever expanded and
+    // NodesVisited never exceeds the bound, so the (MaxNodes+1)-th unique
+    // node is withdrawn again.
+    if (Visited.size() > C.MaxNodes) {
       B.Exhausted = false;
+      Visited.erase(It);
       break;
     }
-    Visited.insert(N);
+    const Node &Cur = *It;
     ++NumExploreNodes;
-    StateHashes.insert(N.State.hash());
-    B.Prefixes.insert(N.Outs);
+    StateHashes.insert(Cur.State.hash());
+    B.Prefixes.insert(Cur.Outs);
 
-    if (N.State.allTerminated()) {
-      B.Done.insert(N.Outs);
+    if (Cur.State.allTerminated()) {
+      B.Done.insert(Cur.Outs);
       continue;
     }
 
-    M.successors(N.State, Succs);
+    M.successors(Cur.State, Succs);
     if (Succs.empty()) {
-      B.Blocked.insert(N.Outs);
+      B.Blocked.insert(Cur.Outs);
       continue;
     }
     for (MachineSuccessor &S : Succs) {
@@ -71,23 +76,23 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
       ++B.Transitions;
       switch (S.Ev.K) {
       case MachineEvent::Kind::Abort:
-        B.Abort.insert(N.Outs);
+        B.Abort.insert(Cur.Outs);
         break;
       case MachineEvent::Kind::Out: {
-        if (N.Outs.size() >= C.MaxOuts) {
+        if (Cur.Outs.size() >= C.MaxOuts) {
           // Trace bound: record the cutoff and move on to the *next*
           // successor — sibling Tau/Abort successors are still explored.
           B.Exhausted = false;
           continue;
         }
-        Node Child{std::move(S.State), N.Outs};
+        Node Child{std::move(S.State), Cur.Outs};
         Child.Outs.push_back(S.Ev.OutVal);
         canonicalizeState(Child.State);
         Work.push_back(std::move(Child));
         break;
       }
       case MachineEvent::Kind::Tau: {
-        Node Child{std::move(S.State), N.Outs};
+        Node Child{std::move(S.State), Cur.Outs};
         canonicalizeState(Child.State);
         Work.push_back(std::move(Child));
         break;

@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ps/Certification.h"
+#include "ps/CertCache.h"
 #include "ps/ThreadStep.h"
+#include "support/Debug.h"
 #include "support/Hashing.h"
 #include "support/Statistic.h"
 
@@ -41,13 +43,9 @@ struct CertNodeHash {
 
 } // namespace
 
-bool consistent(const Program &P, Tid T, const ThreadState &TS,
-                const Memory &M, const StepConfig &C) {
-  if (!M.hasConcretePromises(T))
-    return true;
-
+CertResult certSearch(const Program &P, Tid T, const ThreadState &TS,
+                      Memory Capped, const StepConfig &C) {
   ++NumCertRuns;
-  Memory Capped = M.capped(T);
 
   std::unordered_set<CertNode, CertNodeHash> Visited;
   std::vector<CertNode> Stack;
@@ -68,12 +66,12 @@ bool consistent(const Program &P, Tid T, const ThreadState &TS,
       continue;
     if (Visited.size() > C.CertMaxStates) {
       ++NumCertBoundHits;
-      return false;
+      return CertResult::BoundTripped;
     }
     ++NumCertStates;
 
     if (!Node.Mem.hasConcretePromises(T))
-      return true;
+      return CertResult::Consistent;
 
     Succs.clear();
     enumerateProgramSteps(P, T, Node.TS, Node.Mem, Succs);
@@ -84,7 +82,41 @@ bool consistent(const Program &P, Tid T, const ThreadState &TS,
       Stack.push_back(CertNode{std::move(S.TS), std::move(S.Mem)});
     }
   }
-  return false;
+  return CertResult::Inconsistent;
+}
+
+bool consistent(const Program &P, Tid T, const ThreadState &TS,
+                const Memory &M, const StepConfig &C, CertCache *Cache) {
+  if (!M.hasConcretePromises(T))
+    return true;
+
+  Memory Capped = M.capped(T);
+
+  if (!Cache)
+    return certSearch(P, T, TS, std::move(Capped), C) == CertResult::Consistent;
+
+  CertCacheKey Key = makeCertCacheKey(T, TS, Capped, C);
+  if (std::optional<bool> Hit = Cache->lookup(Key)) {
+#ifdef PSOPT_CERT_CACHE_AUDIT
+    // Audit builds recompute every hit from scratch and abort on any
+    // divergence. Completed verdicts are canonicalization-invariant, so a
+    // hit must reproduce exactly; a bound trip here would mean one was
+    // cached, which the insert path below forbids.
+    CertResult Fresh = certSearch(P, T, TS, std::move(Capped), C);
+    PSOPT_CHECK(Fresh != CertResult::BoundTripped,
+                "cert cache hit for a bound-tripped search");
+    PSOPT_CHECK((Fresh == CertResult::Consistent) == *Hit,
+                "cert cache verdict diverges from fresh certification");
+#endif
+    return *Hit;
+  }
+
+  CertResult R = certSearch(P, T, TS, std::move(Capped), C);
+  // A bound trip is a resource verdict; caching it would make hits depend
+  // on which isomorphic instance populated the entry.
+  if (R != CertResult::BoundTripped)
+    Cache->insert(Key, R == CertResult::Consistent);
+  return R == CertResult::Consistent;
 }
 
 } // namespace psopt

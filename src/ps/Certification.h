@@ -30,10 +30,28 @@
 
 namespace psopt {
 
+class CertCache;
+
+/// Outcome of one certification search. BoundTripped (CertMaxStates
+/// exceeded) reports "not consistent" to callers like Inconsistent does,
+/// but is a *resource* verdict, not a semantic one — the certification
+/// cache must never store it (see ps/CertCache.h).
+enum class CertResult : std::uint8_t { Consistent, Inconsistent, BoundTripped };
+
+/// Runs the certification search for thread \p T from (\p TS, \p Capped),
+/// where \p Capped is the already-capped memory M̂. No fast path and no
+/// caching — callers normally want consistent() instead.
+CertResult certSearch(const Program &P, Tid T, const ThreadState &TS,
+                      Memory Capped, const StepConfig &C);
+
 /// True iff thread \p T can certify all its promises from state (\p TS, \p M).
-/// Fast path: no concrete promises — trivially consistent.
+/// Fast path: no concrete promises — trivially consistent. When \p Cache is
+/// non-null, completed verdicts are memoized under the canonicalized
+/// (thread state, capped memory) key; bound-tripped searches are never
+/// cached, so a hit is bit-identical to recomputation.
 bool consistent(const Program &P, Tid T, const ThreadState &TS,
-                const Memory &M, const StepConfig &C);
+                const Memory &M, const StepConfig &C,
+                CertCache *Cache = nullptr);
 
 } // namespace psopt
 

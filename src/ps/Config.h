@@ -40,6 +40,11 @@ struct StepConfig {
 
   /// Certification search bounds (states visited in the capped memory).
   unsigned CertMaxStates = 20000;
+
+  /// Memoize certification verdicts across machine steps (ps/CertCache.h).
+  /// Behavior-neutral: bound-tripped searches are never cached, so every
+  /// hit is bit-identical to recomputation. CLI: --cert-cache=on|off.
+  bool EnableCertCache = true;
 };
 
 /// Per-thread promise candidate domain, precomputed from the program text:

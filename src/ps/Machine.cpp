@@ -16,12 +16,14 @@ static Statistic NumCertRejects("machine", "cert_rejects",
                                 "successors rejected by certification");
 
 std::size_t MachineState::hash() const {
-  std::size_t Seed = Mem.hash();
-  for (const ThreadState &TS : Threads)
-    hashCombine(Seed, TS.hash());
-  hashCombineValue(Seed, Cur);
-  hashCombineValue(Seed, SwitchAllowed);
-  return hashFinalize(Seed);
+  return memoizedHash(HashCache, [this] {
+    std::size_t Seed = Mem.hash();
+    for (const ThreadState &TS : Threads)
+      hashCombine(Seed, TS.hash());
+    hashCombineValue(Seed, Cur);
+    hashCombineValue(Seed, SwitchAllowed);
+    return hashFinalize(Seed);
+  });
 }
 
 bool MachineState::allTerminated() const {
@@ -43,6 +45,8 @@ std::string MachineState::str() const {
 }
 
 Machine::Machine(const Program &Prog, StepConfig C) : P(&Prog), Cfg(C) {
+  if (Cfg.EnableCertCache)
+    Cert = std::make_unique<CertCache>();
   // Initial memory covers every referenced variable plus declared atomics,
   // each with the initial message ⟨x : 0@(0,0], V⊥⟩.
   std::set<VarId> Vars = Prog.referencedVars();
@@ -92,7 +96,7 @@ void Machine::liftThreadSuccessors(const MachineState &S, Tid T,
 
     // Per-step consistency: the stepping thread must still be able to
     // fulfil all of its promises (Fig 9 τ-step premise).
-    if (!consistent(*P, T, TSucc.TS, TSucc.Mem, Cfg)) {
+    if (!consistent(*P, T, TSucc.TS, TSucc.Mem, Cfg, Cert.get())) {
       ++NumCertRejects;
       continue;
     }

@@ -24,8 +24,11 @@
 #ifndef PSOPT_PS_MACHINE_H
 #define PSOPT_PS_MACHINE_H
 
+#include "ps/CertCache.h"
 #include "ps/Certification.h"
 #include "ps/ThreadStep.h"
+
+#include <memory>
 
 namespace psopt {
 
@@ -44,12 +47,19 @@ struct MachineState {
            Threads == O.Threads && Mem == O.Mem;
   }
 
+  /// Memoized whole-state hash. The canonicalizer (the only in-tree code
+  /// that mutates a state after it may have been hashed) invalidates it.
   std::size_t hash() const;
+
+  void invalidateHash() { HashCache.invalidate(); }
 
   /// True when every thread has terminated (trace marker `done`).
   bool allTerminated() const;
 
   std::string str() const;
+
+private:
+  HashMemo HashCache;
 };
 
 /// Label of one machine step (ProgEvt of Fig 8, with abort surfaced).
@@ -75,6 +85,10 @@ public:
 
   const Program &program() const { return *P; }
   const StepConfig &config() const { return Cfg; }
+
+  /// The machine's certification cache; null when disabled
+  /// (StepConfig::EnableCertCache). Shared by all explorer workers.
+  CertCache *certCache() const { return Cert.get(); }
 
   /// The initial machine state; nullopt when a thread entry is missing
   /// (the program's only behavior is then `abort`).
@@ -102,6 +116,7 @@ protected:
   StepConfig Cfg;
   std::vector<PromiseDomain> Domains; // Indexed by thread id.
   std::optional<MachineState> Init;
+  std::unique_ptr<CertCache> Cert; // Null when EnableCertCache is off.
 };
 
 /// The interleaving machine of Fig 9 (∥ composition).

@@ -33,7 +33,12 @@ std::vector<VarId> Memory::locations() const {
   return Out;
 }
 
-std::vector<Message> &Memory::list(VarId X) { return Locs[X]; }
+std::vector<Message> &Memory::list(VarId X) {
+  // Every mutator reaches its location list through here, so this is the
+  // single choke point that drops the memoized whole-memory hash.
+  HashCache.invalidate();
+  return Locs[X];
+}
 
 const Message *Memory::findConcrete(VarId X, const Time &To) const {
   const Message *M = find(X, To);
@@ -86,6 +91,7 @@ void Memory::fulfillPromise(VarId X, const Time &To, const View &NewView) {
   It->Owner = NoTid;
   It->IsPromise = false;
   It->MsgView = NewView;
+  It->invalidateHash();
 }
 
 void Memory::erase(VarId X, const Time &To) {
@@ -192,17 +198,20 @@ Memory Memory::capped(Tid /*ForThread*/) const {
     Filled.push_back(Message::reservation(X, Last, Last + Time(1), NoTid));
     Ms = std::move(Filled);
   }
+  Out.HashCache.invalidate(); // Out copied *this's memo, then gained messages.
   return Out;
 }
 
 std::size_t Memory::hash() const {
-  std::size_t Seed = 0;
-  for (const auto &[X, Ms] : Locs) {
-    hashCombineValue(Seed, X.raw());
-    for (const Message &M : Ms)
-      hashCombine(Seed, M.hash());
-  }
-  return hashFinalize(Seed);
+  return memoizedHash(HashCache, [this] {
+    std::size_t Seed = 0;
+    for (const auto &[X, Ms] : Locs) {
+      hashCombineValue(Seed, X.raw());
+      for (const Message &M : Ms)
+        hashCombine(Seed, M.hash());
+    }
+    return hashFinalize(Seed);
+  });
 }
 
 std::string Memory::str() const {

@@ -22,6 +22,7 @@
 #define PSOPT_PS_MEMORY_H
 
 #include "ps/Message.h"
+#include "support/Hashing.h"
 
 #include <map>
 #include <optional>
@@ -47,7 +48,8 @@ public:
   /// Sorted messages at location \p X (empty vector if unknown).
   const std::vector<Message> &messages(VarId X) const;
 
-  /// All locations with at least one message.
+  /// All locations with at least one message, as a freshly allocated
+  /// vector. Diagnostics only — hot loops iterate storage() directly.
   std::vector<VarId> locations() const;
 
   /// Finds the concrete message at (\p X, to = \p To); null if absent.
@@ -111,11 +113,19 @@ public:
 
   bool operator==(const Memory &O) const { return Locs == O.Locs; }
 
+  /// Memoized whole-memory hash (invalidated by every mutator, including
+  /// the non-const storage() accessor).
   std::size_t hash() const;
   std::string str() const;
 
-  /// Internal sorted storage, exposed for the canonicalizer.
-  std::map<VarId, std::vector<Message>> &storage() { return Locs; }
+  /// Internal sorted storage, exposed for the canonicalizer. The non-const
+  /// overload conservatively assumes the caller mutates and drops the
+  /// memoized hash; callers that rewrite individual messages must also
+  /// invalidate those (Message::invalidateHash).
+  std::map<VarId, std::vector<Message>> &storage() {
+    HashCache.invalidate();
+    return Locs;
+  }
   const std::map<VarId, std::vector<Message>> &storage() const { return Locs; }
 
 private:
@@ -123,6 +133,7 @@ private:
 
   // Sorted by To (intervals are disjoint, so this equals sorting by From).
   std::map<VarId, std::vector<Message>> Locs;
+  HashMemo HashCache;
 };
 
 } // namespace psopt

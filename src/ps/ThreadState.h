@@ -21,6 +21,10 @@
 namespace psopt {
 
 /// TS = (σ, V); P is recovered from the memory via ownership marks.
+///
+/// hash() is memoized; code that mutates Local or V on a ThreadState whose
+/// hash may already have been taken (i.e. one copied from a visited state
+/// rather than freshly built) must call invalidateHash().
 struct ThreadState {
   LocalState Local;
   View V;
@@ -30,10 +34,17 @@ struct ThreadState {
   }
 
   std::size_t hash() const {
-    std::size_t Seed = Local.hash();
-    hashCombine(Seed, V.hash());
-    return hashFinalize(Seed);
+    return memoizedHash(HashCache, [this] {
+      std::size_t Seed = Local.hash();
+      hashCombine(Seed, V.hash());
+      return hashFinalize(Seed);
+    });
   }
+
+  void invalidateHash() { HashCache.invalidate(); }
+
+private:
+  HashMemo HashCache;
 };
 
 } // namespace psopt

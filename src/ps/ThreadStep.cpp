@@ -51,14 +51,14 @@ struct StepBuilder {
     }
     // The read bound: Tna for na reads, Trlx for rlx/acq (§3).
     const Time Bound =
-        RM == ReadMode::NA ? TS.V.Na.get(X) : TS.V.Rlx.get(X);
+        RM == ReadMode::NA ? TS.V.naAt(X) : TS.V.rlxAt(X);
     for (const Message *Msg : M.readable(X, Bound)) {
       View NewV = TS.V;
       // na reads record the timestamp on Trlx only; rlx/acq record it on
       // both maps; acq additionally joins the message view (§3).
-      NewV.Rlx.joinAt(X, Msg->To);
+      NewV.joinRlxAt(X, Msg->To);
       if (RM != ReadMode::NA)
-        NewV.Na.joinAt(X, Msg->To);
+        NewV.joinNaAt(X, Msg->To);
       if (RM == ReadMode::ACQ)
         NewV.join(Msg->MsgView);
       ThreadSuccessor S;
@@ -88,10 +88,10 @@ struct StepBuilder {
       return;
 
     // (a) Fresh message at each canonical placement.
-    for (const Placement &Pl : M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+    for (const Placement &Pl : M.enumeratePlacements(X, TS.V.rlxAt(X))) {
       View NewV = TS.V;
-      NewV.Na.joinAt(X, Pl.To);
-      NewV.Rlx.joinAt(X, Pl.To);
+      NewV.joinNaAt(X, Pl.To);
+      NewV.joinRlxAt(X, Pl.To);
       // Release writes carry the (updated) thread view as the message view;
       // na/rlx messages carry V⊥ (§3).
       View MsgView = WM == WriteMode::REL ? NewV : View{};
@@ -107,11 +107,11 @@ struct StepBuilder {
       for (const Message *Prm : M.promisesOf(T)) {
         if (!Prm->isConcrete() || Prm->Var != X || Prm->Value != V)
           continue;
-        if (!(Prm->To > TS.V.Rlx.get(X)))
+        if (!(Prm->To > TS.V.rlxAt(X)))
           continue;
         View NewV = TS.V;
-        NewV.Na.joinAt(X, Prm->To);
-        NewV.Rlx.joinAt(X, Prm->To);
+        NewV.joinNaAt(X, Prm->To);
+        NewV.joinRlxAt(X, Prm->To);
         Memory NewM = M;
         NewM.fulfillPromise(X, Prm->To, View{});
         emitAdvanced(ThreadEvent::write(WM, X, V), std::move(NewV),
@@ -131,13 +131,13 @@ struct StepBuilder {
     Val Expected = I.casExpected()->eval(TS.Local.regs());
     Val Desired = I.casDesired()->eval(TS.Local.regs());
 
-    for (const Message *Msg : M.readable(X, TS.V.Rlx.get(X))) {
+    for (const Message *Msg : M.readable(X, TS.V.rlxAt(X))) {
       if (Msg->Value != Expected) {
         // Failed CAS behaves as a plain read of the chosen message; the
         // result register is set to 0.
         View NewV = TS.V;
-        NewV.Na.joinAt(X, Msg->To);
-        NewV.Rlx.joinAt(X, Msg->To);
+        NewV.joinNaAt(X, Msg->To);
+        NewV.joinRlxAt(X, Msg->To);
         if (RM == ReadMode::ACQ)
           NewV.join(Msg->MsgView);
         ThreadSuccessor S;
@@ -159,13 +159,13 @@ struct StepBuilder {
         continue;
       View NewV = TS.V;
       // Read part.
-      NewV.Na.joinAt(X, Msg->To);
-      NewV.Rlx.joinAt(X, Msg->To);
+      NewV.joinNaAt(X, Msg->To);
+      NewV.joinRlxAt(X, Msg->To);
       if (RM == ReadMode::ACQ)
         NewV.join(Msg->MsgView);
       // Write part.
-      NewV.Na.joinAt(X, Pl->To);
-      NewV.Rlx.joinAt(X, Pl->To);
+      NewV.joinNaAt(X, Pl->To);
+      NewV.joinRlxAt(X, Pl->To);
       View MsgView = WM == WriteMode::REL ? NewV : View{};
       Memory NewM = M;
       NewM.insert(
@@ -199,6 +199,8 @@ void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
     S.Ev = ThreadEvent::tau();
     S.TS = TS;
     S.Mem = M;
+    // S.TS copied TS (whose hash may be memoized) and then mutated Local.
+    S.TS.invalidateHash();
     if (!S.TS.Local.applyTerminator(P)) {
       S.Abort = true;
       S.TS = TS;
@@ -264,7 +266,7 @@ void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
     for (VarId X : D.Vars) {
       for (Val V : D.Values) {
         for (const Placement &Pl :
-             M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+             M.enumeratePlacements(X, TS.V.rlxAt(X))) {
           Message Msg = Message::concrete(X, V, Pl.From, Pl.To, View{});
           Msg.Owner = T;
           Msg.IsPromise = true;
@@ -280,8 +282,9 @@ void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
   }
 
   if (C.EnableReservations && Reservations < C.MaxOutstandingReservations) {
-    for (VarId X : M.locations()) {
-      for (const Placement &Pl : M.enumeratePlacements(X, TS.V.Rlx.get(X))) {
+    for (const auto &[X, Ms] : M.storage()) {
+      (void)Ms;
+      for (const Placement &Pl : M.enumeratePlacements(X, TS.V.rlxAt(X))) {
         ThreadSuccessor S;
         S.Ev = ThreadEvent::reserve(X);
         S.TS = TS;

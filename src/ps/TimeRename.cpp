@@ -1,0 +1,44 @@
+//===- ps/TimeRename.cpp - Order-isomorphic timestamp renaming --------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ps/TimeRename.h"
+
+namespace psopt {
+
+void TimeRenamer::noteMemory(const Memory &M) {
+  for (const auto &[X, Ms] : M.storage()) {
+    (void)X;
+    for (const Message &Msg : Ms) {
+      note(Msg.From);
+      note(Msg.To);
+      noteView(Msg.MsgView);
+    }
+  }
+}
+
+void TimeRenamer::freeze() {
+  std::int64_t Next = 0;
+  for (auto &[Old, New] : Table) {
+    (void)Old;
+    New = Time(Next++);
+  }
+}
+
+void TimeRenamer::rewriteMemory(Memory &M) const {
+  // storage() (non-const) drops the whole-memory memo; each rewritten
+  // message additionally drops its own.
+  for (auto &[X, Ms] : M.storage()) {
+    (void)X;
+    for (Message &Msg : Ms) {
+      Msg.From = map(Msg.From);
+      Msg.To = map(Msg.To);
+      Msg.MsgView = mapView(Msg.MsgView);
+      Msg.invalidateHash();
+    }
+  }
+}
+
+} // namespace psopt

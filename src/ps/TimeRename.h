@@ -1,0 +1,83 @@
+//===- ps/TimeRename.h - Order-isomorphic timestamp renaming ----*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-pass timestamp renamer shared by the explorer's state
+/// canonicalizer (explore/Canonical.cpp) and the certification cache's key
+/// derivation (ps/CertCache.cpp). Pass one *notes* every timestamp that
+/// occurs in the structure to be rewritten; freeze() assigns consecutive
+/// integers in order; pass two *maps* each occurrence. Any strictly
+/// monotone renaming preserves PS2.1 semantics (relative order and exact
+/// from/to adjacency are all that matter), and renaming onto 0, 1, 2, ...
+/// additionally keeps rationals small and makes order-isomorphic states
+/// bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_PS_TIMERENAME_H
+#define PSOPT_PS_TIMERENAME_H
+
+#include "ps/Memory.h"
+#include "ps/View.h"
+
+#include <map>
+
+namespace psopt {
+
+/// Collects timestamps into an order-preserving renaming table, then
+/// rewrites in a second pass.
+class TimeRenamer {
+public:
+  void note(const Time &T) { Table.emplace(T, Time(0)); }
+
+  void noteTimeMap(const TimeMap &TM) {
+    for (const auto &[X, T] : TM.entries())
+      note(T);
+  }
+
+  void noteView(const View &V) {
+    noteTimeMap(V.na());
+    noteTimeMap(V.rlx());
+  }
+
+  /// Notes every interval endpoint and message-view timestamp in \p M.
+  void noteMemory(const Memory &M);
+
+  /// Assigns consecutive integers 0, 1, 2, ... to the noted timestamps in
+  /// increasing order. Must be called between the note and map passes.
+  void freeze();
+
+  Time map(const Time &T) const {
+    auto It = Table.find(T);
+    // Every timestamp in the structure was noted in pass one.
+    return It->second;
+  }
+
+  TimeMap mapTimeMap(const TimeMap &TM) const {
+    TimeMap Out;
+    for (const auto &[X, T] : TM.entries())
+      Out.set(X, map(T));
+    return Out;
+  }
+
+  View mapView(const View &V) const {
+    View Out;
+    Out.setNa(mapTimeMap(V.na()));
+    Out.setRlx(mapTimeMap(V.rlx()));
+    return Out;
+  }
+
+  /// Rewrites every message interval and message view of \p M in place,
+  /// invalidating the per-message and whole-memory hash memos.
+  void rewriteMemory(Memory &M) const;
+
+private:
+  std::map<Time, Time> Table;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_PS_TIMERENAME_H

@@ -38,9 +38,11 @@ std::string TimeMap::str() const {
 }
 
 std::size_t View::hash() const {
-  std::size_t Seed = Na.hash();
-  hashCombine(Seed, Rlx.hash());
-  return hashFinalize(Seed);
+  return memoizedHash(HashCache, [this] {
+    std::size_t Seed = Na.hash();
+    hashCombine(Seed, Rlx.hash());
+    return hashFinalize(Seed);
+  });
 }
 
 std::string View::str() const {

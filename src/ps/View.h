@@ -20,6 +20,7 @@
 #ifndef PSOPT_PS_VIEW_H
 #define PSOPT_PS_VIEW_H
 
+#include "support/Hashing.h"
 #include "support/Rational.h"
 #include "support/Symbol.h"
 
@@ -77,21 +78,62 @@ private:
 
 /// A thread view V = (Tna, Trlx). Invariant (established by the step
 /// relation): Tna ≤ Trlx pointwise.
+///
+/// The time maps are private so that every mutation funnels through a
+/// method that drops the memoized hash (hash() is on the explorer's and the
+/// certification cache's hot probe paths).
 class View {
 public:
-  TimeMap Na;
-  TimeMap Rlx;
+  const TimeMap &na() const { return Na; }
+  const TimeMap &rlx() const { return Rlx; }
+
+  /// Shorthand reads: the recorded timestamp for \p X (0 if absent).
+  Time naAt(VarId X) const { return Na.get(X); }
+  Time rlxAt(VarId X) const { return Rlx.get(X); }
+
+  void setNaAt(VarId X, const Time &T) {
+    Na.set(X, T);
+    HashCache.invalidate();
+  }
+  void setRlxAt(VarId X, const Time &T) {
+    Rlx.set(X, T);
+    HashCache.invalidate();
+  }
+  void joinNaAt(VarId X, const Time &T) {
+    Na.joinAt(X, T);
+    HashCache.invalidate();
+  }
+  void joinRlxAt(VarId X, const Time &T) {
+    Rlx.joinAt(X, T);
+    HashCache.invalidate();
+  }
+
+  /// Wholesale replacement (the canonicalizer rebuilds renamed maps).
+  void setNa(TimeMap TM) {
+    Na = std::move(TM);
+    HashCache.invalidate();
+  }
+  void setRlx(TimeMap TM) {
+    Rlx = std::move(TM);
+    HashCache.invalidate();
+  }
 
   /// Pointwise join (V1 ⊔ V2).
   void join(const View &O) {
     Na.join(O.Na);
     Rlx.join(O.Rlx);
+    HashCache.invalidate();
   }
 
   bool operator==(const View &O) const { return Na == O.Na && Rlx == O.Rlx; }
 
   std::size_t hash() const;
   std::string str() const;
+
+private:
+  TimeMap Na;
+  TimeMap Rlx;
+  HashMemo HashCache;
 };
 
 /// The bottom view V⊥ (all zeros).

@@ -19,7 +19,7 @@ std::optional<RaceWitness> stateHasRWRace(const Program &P,
     for (const Message &M : S.Mem.messages(X)) {
       if (!M.isConcrete() || M.Owner == T)
         continue;
-      if (TS.V.Na.get(X) < M.To && M.To > Time(0)) {
+      if (TS.V.naAt(X) < M.To && M.To > Time(0)) {
         RaceWitness W;
         W.Thread = T;
         W.Var = X;

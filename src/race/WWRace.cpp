@@ -30,7 +30,7 @@ std::optional<RaceWitness> stateHasWWRace(const Program &P,
         continue;
       if (M.Owner == T)
         continue; // m ∈ TP(t).P is excluded (Fig 11: m ∈ M \ P).
-      if (TS.V.Rlx.get(X) < M.To) {
+      if (TS.V.rlxAt(X) < M.To) {
         RaceWitness W;
         W.Thread = T;
         W.Var = X;

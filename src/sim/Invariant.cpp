@@ -61,10 +61,10 @@ public:
         return false;
     }
 
-    for (VarId X : Mt.locations()) {
+    for (const auto &[X, Msgs] : Mt.storage()) {
       if (Atomics.count(X))
         continue;
-      for (const Message &M : Mt.messages(X)) {
+      for (const Message &M : Msgs) {
         if (!M.isConcrete() || M.To == Time(0))
           continue;
         auto SrcTo = Phi.get(X, M.To);

@@ -12,8 +12,10 @@ namespace psopt {
 
 TimestampMap TimestampMap::initial(const Memory &Init) {
   TimestampMap Phi;
-  for (VarId X : Init.locations())
+  for (const auto &[X, Ms] : Init.storage()) {
+    (void)Ms;
     Phi.Map[{X, Time(0)}] = Time(0);
+  }
   return Phi;
 }
 
@@ -31,8 +33,8 @@ void TimestampMap::bind(VarId X, const Time &TgtTo, const Time &SrcTo) {
 
 bool TimestampMap::domainMatches(const Memory &Mt) const {
   std::size_t Concrete = 0;
-  for (VarId X : Mt.locations()) {
-    for (const Message &M : Mt.messages(X)) {
+  for (const auto &[X, Msgs] : Mt.storage()) {
+    for (const Message &M : Msgs) {
       if (!M.isConcrete())
         continue;
       ++Concrete;

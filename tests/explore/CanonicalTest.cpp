@@ -32,13 +32,13 @@ TEST(CanonicalTest, RenamesToSmallIntegers) {
                               thread f;)");
   VarId X("x");
   S.Mem.insert(Message::concrete(X, 1, Time(7, 2), Time(19, 3), View{}));
-  S.Threads[0].V.Rlx.set(X, Time(19, 3));
+  S.Threads[0].V.setRlxAt(X, Time(19, 3));
   canonicalizeState(S);
   // Timestamps present: 0, 7/2, 19/3 → renamed to 0, 1, 2.
   const Message &M = S.Mem.messages(X)[1];
   EXPECT_EQ(M.From, Time(1));
   EXPECT_EQ(M.To, Time(2));
-  EXPECT_EQ(S.Threads[0].V.Rlx.get(X), Time(2));
+  EXPECT_EQ(S.Threads[0].V.rlxAt(X), Time(2));
 }
 
 TEST(CanonicalTest, Idempotent) {
@@ -92,14 +92,14 @@ TEST(CanonicalTest, MessageViewsAreRenamed) {
                               thread f;)");
   VarId X("x"), Z("z");
   View MsgView;
-  MsgView.Rlx.set(Z, Time(7));
+  MsgView.setRlxAt(Z, Time(7));
   S.Mem.insert(Message::concrete(Z, 1, Time(5), Time(7), View{}));
   S.Mem.insert(Message::concrete(X, 1, Time(1), Time(2), MsgView));
   canonicalizeState(S);
   const Message &XMsg = S.Mem.messages(X)[1];
   const Message &ZMsg = S.Mem.messages(Z)[1];
   // The view entry still names z's To-timestamp after renaming.
-  EXPECT_EQ(XMsg.MsgView.Rlx.get(Z), ZMsg.To);
+  EXPECT_EQ(XMsg.MsgView.rlxAt(Z), ZMsg.To);
 }
 
 } // namespace

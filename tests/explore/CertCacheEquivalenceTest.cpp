@@ -1,0 +1,109 @@
+//===- tests/explore/CertCacheEquivalenceTest.cpp - Cache on == cache off -------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The certification cache's correctness contract: exploration with
+/// StepConfig::EnableCertCache on returns a BehaviorSet *bit-identical* to
+/// exploration with it off — sets, Exhausted flag, and the
+/// NodesVisited/UniqueStates/Transitions counters alike — for every
+/// program, machine, and worker count. The cache only ever memoizes
+/// *completed* certification searches (bound trips are never cached, see
+/// DESIGN.md §8), so a hit answers exactly what recomputation would.
+///
+/// Swept over the whole litmus registry and random programs for
+/// Jobs ∈ {1, 2, 8}. This binary is also a ThreadSanitizer target: the
+/// cache's striped locks and the memoized hash slots are exercised by 8
+/// workers here (see DESIGN.md §7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "litmus/Litmus.h"
+#include "litmus/RandomProgram.h"
+#include "nps/NPMachine.h"
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+const unsigned JobCounts[] = {1, 2, 8};
+
+void expectCacheNeutral(const Program &P, const StepConfig &SC) {
+  StepConfig On = SC;
+  On.EnableCertCache = true;
+  StepConfig Off = SC;
+  Off.EnableCertCache = false;
+  for (unsigned K : JobCounts) {
+    ExploreConfig EC;
+    EC.Jobs = K;
+    EXPECT_TRUE(exploreInterleaving(P, On, EC) ==
+                exploreInterleaving(P, Off, EC))
+        << "interleaving, jobs=" << K;
+    EXPECT_TRUE(exploreNonPreemptive(P, On, EC) ==
+                exploreNonPreemptive(P, Off, EC))
+        << "non-preemptive, jobs=" << K;
+  }
+}
+
+TEST(CertCacheEquivalenceTest, AllLitmusTests) {
+  for (const LitmusTest &T : allLitmusTests()) {
+    SCOPED_TRACE(T.Name);
+    expectCacheNeutral(T.Prog, T.SuggestedConfig());
+  }
+}
+
+TEST(CertCacheEquivalenceTest, RandomPrograms) {
+  for (unsigned Seed = 0; Seed < 10; ++Seed) {
+    // The same generator configs the parallel-equivalence sweep uses:
+    // known to explore within the node bound even with promises enabled.
+    RandomProgramConfig C;
+    C.Seed = 7000 + Seed;
+    C.NumThreads = 2 + Seed % 2;
+    C.InstrsPerThread = 4;
+    C.NumNaVars = 2;
+    C.NumAtomicVars = 1;
+    C.AllowCas = (Seed % 3 == 0);
+    C.AllowBranch = true;
+    C.ExclusiveNaWriters = (Seed % 2 == 0); // include racy programs
+    Program P = generateRandomProgram(C);
+    StepConfig SC;
+    SC.EnablePromises = (Seed % 2 == 0); // half the seeds exercise the cache
+    SCOPED_TRACE("seed " + std::to_string(C.Seed));
+    expectCacheNeutral(P, SC);
+  }
+}
+
+TEST(CertCacheEquivalenceTest, CacheActuallyHitsOnPromiseHeavyPrograms) {
+  // Guard against the cache silently never engaging (e.g. a key component
+  // that differs on every query): LB's exploration must serve a
+  // substantial share of its certifications from the cache.
+  std::uint64_t Hits0 = 0, Misses0 = 0;
+  for (const Statistic *S : allStatistics()) {
+    if (std::string(S->group()) != "certcache")
+      continue;
+    if (std::string(S->name()) == "hits")
+      Hits0 = S->value();
+    else if (std::string(S->name()) == "misses")
+      Misses0 = S->value();
+  }
+  const LitmusTest &T = litmus("lb");
+  exploreInterleaving(T.Prog, T.SuggestedConfig());
+  std::uint64_t Hits = 0, Misses = 0;
+  for (const Statistic *S : allStatistics()) {
+    if (std::string(S->group()) != "certcache")
+      continue;
+    if (std::string(S->name()) == "hits")
+      Hits = S->value() - Hits0;
+    else if (std::string(S->name()) == "misses")
+      Misses = S->value() - Misses0;
+  }
+  ASSERT_GT(Hits + Misses, 0u) << "LB never consulted the cache";
+  EXPECT_GT(Hits, Misses) << "cache hit rate below 50% on LB";
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,246 @@
+//===- tests/ps/CertCacheTest.cpp - Certification cache unit tests --------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the certification cache (ps/CertCache.h): key
+/// canonicalization (thread-relative ownership, order-isomorphic timestamp
+/// renaming), the never-cache-bound-trips invariant, and hit/miss
+/// accounting. The end-to-end guarantee — cache-on exploration is
+/// bit-identical to cache-off — lives in
+/// tests/explore/CertCacheEquivalenceTest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "ps/CertCache.h"
+#include "ps/Certification.h"
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+std::uint64_t statValue(const char *Group, const char *Name) {
+  for (const Statistic *S : allStatistics())
+    if (std::string(S->group()) == Group && std::string(S->name()) == Name)
+      return S->value();
+  ADD_FAILURE() << "unknown statistic " << Group << "." << Name;
+  return 0;
+}
+
+struct StepEnv {
+  Program P;
+  ThreadState TS;
+  Memory M;
+
+  explicit StepEnv(const std::string &Src) {
+    P = parseProgramOrDie(Src);
+    std::set<VarId> Vars = P.referencedVars();
+    for (VarId X : P.atomics())
+      Vars.insert(X);
+    M = Memory::initial(Vars);
+    TS.Local = *LocalState::start(P, P.threads()[0]);
+  }
+
+  void addPromise(const char *Var, Val V, Time From, Time To, Tid Owner = 0) {
+    Message Prm = Message::concrete(VarId(Var), V, From, To, View{});
+    Prm.Owner = Owner;
+    Prm.IsPromise = true;
+    M.insert(Prm);
+  }
+};
+
+const char *LbThread =
+    R"(var x atomic; var y atomic;
+     func f { block 0: r1 := x.rlx; y.rlx := 1; ret; }
+     thread f;)";
+
+TEST(CertCacheKeyTest, IdenticalQueriesProduceEqualKeys) {
+  StepEnv S(LbThread);
+  S.addPromise("y", 1, Time(1), Time(2));
+  StepConfig C;
+  CertCacheKey A = makeCertCacheKey(0, S.TS, S.M.capped(0), C);
+  CertCacheKey B = makeCertCacheKey(0, S.TS, S.M.capped(0), C);
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(CertCacheKeyTest, OwnershipIsThreadRelative) {
+  // The same configuration with the promise owned by thread 0 vs thread 1
+  // canonicalizes to one key when each is certified by its own thread.
+  StepEnv S0(LbThread);
+  S0.addPromise("y", 1, Time(1), Time(2), /*Owner=*/0);
+  StepEnv S1(LbThread);
+  S1.addPromise("y", 1, Time(1), Time(2), /*Owner=*/1);
+  StepConfig C;
+  CertCacheKey K0 = makeCertCacheKey(0, S0.TS, S0.M.capped(0), C);
+  CertCacheKey K1 = makeCertCacheKey(1, S1.TS, S1.M.capped(1), C);
+  EXPECT_TRUE(K0 == K1);
+  EXPECT_EQ(K0.hash(), K1.hash());
+}
+
+TEST(CertCacheKeyTest, MineVersusOtherOwnershipStaysDistinguished) {
+  // A promise owned by the certified thread and the same message owned by
+  // another thread must NOT collide: "mine" determines what certification
+  // has to fulfil.
+  StepEnv Mine(LbThread);
+  Mine.addPromise("y", 1, Time(1), Time(2), /*Owner=*/0);
+  StepEnv Other(LbThread);
+  Other.addPromise("y", 1, Time(1), Time(2), /*Owner=*/1);
+  StepConfig C;
+  CertCacheKey KMine = makeCertCacheKey(0, Mine.TS, Mine.M.capped(0), C);
+  CertCacheKey KOther = makeCertCacheKey(0, Other.TS, Other.M.capped(0), C);
+  EXPECT_FALSE(KMine == KOther);
+}
+
+TEST(CertCacheKeyTest, TimestampShiftedInstancesCoincide) {
+  // Order-isomorphic timestamp choices (here: the promise interval placed
+  // at (1,2] vs (1,7]) canonicalize to one key. The renaming is global
+  // across locations — the same TimeRenamer the explorer's canonicalizer
+  // uses — so the instances must agree on cross-location coincidences:
+  // both keep From = 1, which coincides with x's cap timestamp.
+  StepEnv A(LbThread);
+  A.addPromise("y", 1, Time(1), Time(2));
+  StepEnv B(LbThread);
+  B.addPromise("y", 1, Time(1), Time(7));
+  StepConfig C;
+  CertCacheKey KA = makeCertCacheKey(0, A.TS, A.M.capped(0), C);
+  CertCacheKey KB = makeCertCacheKey(0, B.TS, B.M.capped(0), C);
+  EXPECT_TRUE(KA == KB);
+  EXPECT_EQ(KA.hash(), KB.hash());
+}
+
+TEST(CertCacheKeyTest, DifferentCertBoundsKeyDifferently) {
+  StepEnv S(LbThread);
+  S.addPromise("y", 1, Time(1), Time(2));
+  StepConfig C1;
+  C1.CertMaxStates = 100;
+  StepConfig C2;
+  C2.CertMaxStates = 200;
+  CertCacheKey K1 = makeCertCacheKey(0, S.TS, S.M.capped(0), C1);
+  CertCacheKey K2 = makeCertCacheKey(0, S.TS, S.M.capped(0), C2);
+  EXPECT_FALSE(K1 == K2);
+}
+
+TEST(CertCacheTest, HitServesTheInsertedVerdictWithStatDelta) {
+  StepEnv S(LbThread);
+  S.addPromise("y", 1, Time(1), Time(2));
+  StepConfig C;
+  CertCache Cache;
+
+  std::uint64_t Hits0 = statValue("certcache", "hits");
+  std::uint64_t Misses0 = statValue("certcache", "misses");
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, C, &Cache));
+  EXPECT_EQ(statValue("certcache", "misses"), Misses0 + 1);
+  EXPECT_EQ(statValue("certcache", "hits"), Hits0);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, C, &Cache));
+  EXPECT_EQ(statValue("certcache", "hits"), Hits0 + 1);
+  EXPECT_EQ(statValue("certcache", "misses"), Misses0 + 1);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(CertCacheTest, NegativeVerdictsAreCachedToo) {
+  StepEnv S(R"(var x atomic; var y atomic;
+             func f { block 0: r1 := x.rlx; y.rlx := r1; ret; }
+             thread f;)");
+  S.addPromise("y", 1, Time(1), Time(2)); // out-of-thin-air: not certifiable
+  StepConfig C;
+  CertCache Cache;
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, C, &Cache));
+  EXPECT_EQ(Cache.size(), 1u);
+  std::uint64_t Hits0 = statValue("certcache", "hits");
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, C, &Cache));
+  EXPECT_EQ(statValue("certcache", "hits"), Hits0 + 1);
+}
+
+TEST(CertCacheTest, BoundTrippedVerdictIsNeverCached) {
+  // CertMaxStates = 0 trips the bound on the very first node: the verdict
+  // is a resource cutoff, so nothing may be inserted — a later run with a
+  // real budget must recompute (and may then legitimately succeed).
+  StepEnv S(LbThread);
+  S.addPromise("y", 1, Time(1), Time(2));
+  StepConfig Tight;
+  Tight.CertMaxStates = 0;
+  CertCache Cache;
+
+  std::uint64_t Bound0 = statValue("cert", "bound_hits");
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, Tight, &Cache));
+  EXPECT_EQ(statValue("cert", "bound_hits"), Bound0 + 1);
+  EXPECT_EQ(Cache.size(), 0u);
+
+  // Same query again: still a miss, still recomputed, still not cached.
+  EXPECT_FALSE(consistent(S.P, 0, S.TS, S.M, Tight, &Cache));
+  EXPECT_EQ(statValue("cert", "bound_hits"), Bound0 + 2);
+  EXPECT_EQ(Cache.size(), 0u);
+
+  // With the default budget the search completes and the verdict lands in
+  // the cache (under a different key: CertMaxStates is part of it).
+  StepConfig Wide;
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, Wide, &Cache));
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(CertCacheTest, FastPathSkipsTheCache) {
+  // No concrete promises: consistent() answers true without a lookup.
+  StepEnv S(LbThread);
+  StepConfig C;
+  CertCache Cache;
+  std::uint64_t Misses0 = statValue("certcache", "misses");
+  EXPECT_TRUE(consistent(S.P, 0, S.TS, S.M, C, &Cache));
+  EXPECT_EQ(statValue("certcache", "misses"), Misses0);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CertCacheTest, NullCacheMatchesCachedVerdicts) {
+  // The cache-free path and the cached path agree on both verdicts.
+  StepEnv Good(LbThread);
+  Good.addPromise("y", 1, Time(1), Time(2));
+  StepEnv Bad(LbThread);
+  Bad.addPromise("y", 7, Time(1), Time(2));
+  StepConfig C;
+  CertCache Cache;
+  EXPECT_EQ(consistent(Good.P, 0, Good.TS, Good.M, C, nullptr),
+            consistent(Good.P, 0, Good.TS, Good.M, C, &Cache));
+  EXPECT_EQ(consistent(Bad.P, 0, Bad.TS, Bad.M, C, nullptr),
+            consistent(Bad.P, 0, Bad.TS, Bad.M, C, &Cache));
+}
+
+TEST(CertCacheTest, GenerationalEvictionClearsAnOverflowingShard) {
+  // A tiny budget forces the generational clear; the cache stays usable
+  // and counts the dropped entries.
+  CertCache Cache(/*ShardCount=*/16, /*MaxEntries=*/16); // 1 entry per shard
+  StepConfig C;
+  std::uint64_t Evict0 = statValue("certcache", "evictions");
+  // Distinct keys: vary the promised value through distinct memories.
+  for (Val V = 0; V < 8; ++V) {
+    StepEnv S(LbThread);
+    S.addPromise("y", V, Time(1), Time(2));
+    CertCacheKey K = makeCertCacheKey(0, S.TS, S.M.capped(0), C);
+    Cache.insert(K, true);
+    Cache.insert(K, true); // Re-insert of a live key does not evict.
+  }
+  // Nothing overflowed only if every key landed in its own shard; either
+  // way the cache never exceeds its budget.
+  EXPECT_LE(Cache.size(), 16u);
+  for (Val V = 0; V < 8; ++V) {
+    StepEnv S(LbThread);
+    S.addPromise("y", V, Time(1), Time(2));
+    CertCacheKey K = makeCertCacheKey(0, S.TS, S.M.capped(0), C);
+    Cache.insert(K, true); // Duplicate keys collide in-shard...
+    StepEnv S2(LbThread);
+    S2.addPromise("y", V + 100, Time(1), Time(2));
+    Cache.insert(makeCertCacheKey(0, S2.TS, S2.M.capped(0), C), false);
+  }
+  // 24 distinct keys through a 16-entry budget: at least one shard must
+  // have clashed and cleared.
+  EXPECT_GT(statValue("certcache", "evictions"), Evict0);
+  EXPECT_LE(Cache.size(), 16u);
+}
+
+} // namespace
+} // namespace psopt

@@ -69,7 +69,7 @@ TEST(ThreadStepTest, ReadBoundRespectsThreadView) {
   StepEnv S(R"(var x atomic; func f { block 0: r := x.rlx; ret; } thread f;)");
   VarId X("x");
   S.M.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
-  S.TS.V.Rlx.set(X, Time(2)); // already observed the second message
+  S.TS.V.setRlxAt(X, Time(2)); // already observed the second message
   auto Succs = S.programSteps();
   ASSERT_EQ(Succs.size(), 1u);
   EXPECT_EQ(Succs[0].Ev.ReadVal, 1);
@@ -80,12 +80,12 @@ TEST(ThreadStepTest, NaReadUsesNaBoundButUpdatesRlx) {
   StepEnv S(R"(var x; func f { block 0: r := x.na; ret; } thread f;)");
   VarId X("x");
   S.M.insert(Message::concrete(X, 5, Time(1), Time(2), View{}));
-  S.TS.V.Rlx.set(X, Time(2)); // Trlx high but Tna still 0:
+  S.TS.V.setRlxAt(X, Time(2)); // Trlx high but Tna still 0:
   auto Succs = S.programSteps();
   ASSERT_EQ(Succs.size(), 2u); // both messages na-readable
   for (auto &Succ : Succs) {
-    EXPECT_EQ(Succ.TS.V.Na.get(X), Time(0));      // Tna untouched
-    EXPECT_GE(Succ.TS.V.Rlx.get(X), Time(2));     // Trlx never decreases
+    EXPECT_EQ(Succ.TS.V.naAt(X), Time(0));      // Tna untouched
+    EXPECT_GE(Succ.TS.V.rlxAt(X), Time(2));     // Trlx never decreases
   }
 }
 
@@ -94,14 +94,14 @@ TEST(ThreadStepTest, AcquireReadJoinsMessageView) {
              func f { block 0: r := x.acq; ret; } thread f;)");
   VarId X("x"), Z("z");
   View MsgView;
-  MsgView.Na.set(Z, Time(9));
-  MsgView.Rlx.set(Z, Time(9));
+  MsgView.setNaAt(Z, Time(9));
+  MsgView.setRlxAt(Z, Time(9));
   S.M.insert(Message::concrete(X, 1, Time(1), Time(2), MsgView));
   for (auto &Succ : S.programSteps()) {
     if (Succ.Ev.ReadVal != 1)
       continue;
-    EXPECT_EQ(Succ.TS.V.Na.get(Z), Time(9));
-    EXPECT_EQ(Succ.TS.V.Rlx.get(Z), Time(9));
+    EXPECT_EQ(Succ.TS.V.naAt(Z), Time(9));
+    EXPECT_EQ(Succ.TS.V.rlxAt(Z), Time(9));
   }
 }
 
@@ -110,10 +110,10 @@ TEST(ThreadStepTest, RelaxedReadIgnoresMessageView) {
              func f { block 0: r := x.rlx; ret; } thread f;)");
   VarId X("x"), Z("z");
   View MsgView;
-  MsgView.Na.set(Z, Time(9));
+  MsgView.setNaAt(Z, Time(9));
   S.M.insert(Message::concrete(X, 1, Time(1), Time(2), MsgView));
   for (auto &Succ : S.programSteps())
-    EXPECT_EQ(Succ.TS.V.Na.get(Z), Time(0));
+    EXPECT_EQ(Succ.TS.V.naAt(Z), Time(0));
 }
 
 TEST(ThreadStepTest, WriteAdvancesBothViewComponents) {
@@ -124,8 +124,8 @@ TEST(ThreadStepTest, WriteAdvancesBothViewComponents) {
   const ThreadSuccessor &W = Succs[0];
   EXPECT_EQ(W.Ev.K, ThreadEvent::Kind::Write);
   EXPECT_TRUE(W.Ev.isNA());
-  EXPECT_GT(W.TS.V.Na.get(X), Time(0));
-  EXPECT_EQ(W.TS.V.Na.get(X), W.TS.V.Rlx.get(X));
+  EXPECT_GT(W.TS.V.naAt(X), Time(0));
+  EXPECT_EQ(W.TS.V.naAt(X), W.TS.V.rlxAt(X));
   ASSERT_EQ(W.Mem.messages(X).size(), 2u);
   EXPECT_EQ(W.Mem.messages(X)[1].Value, 3);
   EXPECT_EQ(W.Mem.messages(X)[1].MsgView, View{}); // na writes carry V⊥
@@ -143,13 +143,13 @@ TEST(ThreadStepTest, ReleaseWriteCarriesThreadView) {
   StepEnv S(R"(var x atomic; var z;
              func f { block 0: x.rel := 1; ret; } thread f;)");
   VarId X("x"), Z("z");
-  S.TS.V.Na.set(Z, Time(7));
-  S.TS.V.Rlx.set(Z, Time(7));
+  S.TS.V.setNaAt(Z, Time(7));
+  S.TS.V.setRlxAt(Z, Time(7));
   for (auto &Succ : S.programSteps()) {
     const Message &M = Succ.Mem.messages(X).back();
-    EXPECT_EQ(M.MsgView.Rlx.get(Z), Time(7));
+    EXPECT_EQ(M.MsgView.rlxAt(Z), Time(7));
     // The message view also covers the write itself.
-    EXPECT_EQ(M.MsgView.Rlx.get(X), M.To);
+    EXPECT_EQ(M.MsgView.rlxAt(X), M.To);
   }
 }
 

@@ -68,17 +68,17 @@ TEST(TimeMapTest, Leq) {
 TEST(ViewTest, JoinJoinsBothComponents) {
   VarId X("vt_vx");
   View A, B;
-  A.Na.set(X, Time(1));
-  B.Rlx.set(X, Time(4));
+  A.setNaAt(X, Time(1));
+  B.setRlxAt(X, Time(4));
   A.join(B);
-  EXPECT_EQ(A.Na.get(X), Time(1));
-  EXPECT_EQ(A.Rlx.get(X), Time(4));
+  EXPECT_EQ(A.naAt(X), Time(1));
+  EXPECT_EQ(A.rlxAt(X), Time(4));
 }
 
 TEST(ViewTest, BottomViewIsEmpty) {
   View V = bottomView();
-  EXPECT_EQ(V.Na.get(VarId("vt_bx")), Time(0));
-  EXPECT_EQ(V.Rlx.get(VarId("vt_bx")), Time(0));
+  EXPECT_EQ(V.naAt(VarId("vt_bx")), Time(0));
+  EXPECT_EQ(V.rlxAt(VarId("vt_bx")), Time(0));
   EXPECT_EQ(V, View{});
 }
 

@@ -21,6 +21,9 @@
 //   psopt litmus   [name]
 //       run a registered litmus test (all names when omitted)
 //
+// explore/race/refine/equiv additionally accept --cert-cache=on|off
+// (default on): memoize certification verdicts across machine steps.
+//
 //===----------------------------------------------------------------------===//
 
 #include "explore/Explorer.h"
@@ -51,6 +54,7 @@ struct Options {
   bool NonPreemptive = false;
   bool NoPromises = false;
   bool RwRace = false;
+  bool CertCacheOn = true;
   std::uint64_t MaxNodes = 2'000'000;
   unsigned Jobs = 1;
   std::string Passes;
@@ -63,13 +67,18 @@ int usage() {
       stderr,
       "usage: psopt <command> [args]\n"
       "  explore  <file> [--np] [--no-promises] [--max-nodes=N] [--jobs=N]\n"
+      "           [--cert-cache=on|off]\n"
       "  race     <file> [--np] [--rw] [--no-promises] [--jobs=N]\n"
+      "           [--cert-cache=on|off]\n"
       "  optimize <file> --passes=constprop,dce,cse,licm,simplifycfg\n"
       "  refine   <target> <source> [--no-promises] [--jobs=N]\n"
-      "  equiv    <file> [--no-promises] [--jobs=N]\n"
+      "           [--cert-cache=on|off]\n"
+      "  equiv    <file> [--no-promises] [--jobs=N] [--cert-cache=on|off]\n"
       "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
       "  litmus   [name]\n"
-      "--jobs=N explores with N worker threads (identical BehaviorSet).\n");
+      "--jobs=N explores with N worker threads (identical BehaviorSet).\n"
+      "--cert-cache memoizes certification verdicts across machine steps\n"
+      "(default on; behavior-identical to off, see DESIGN.md section 8).\n");
   return 2;
 }
 
@@ -82,6 +91,10 @@ bool parseArgs(int argc, char **argv, Options &O) {
       O.NoPromises = true;
     else if (A == "--rw")
       O.RwRace = true;
+    else if (A == "--cert-cache=on")
+      O.CertCacheOn = true;
+    else if (A == "--cert-cache=off")
+      O.CertCacheOn = false;
     else if (A.rfind("--max-nodes=", 0) == 0)
       O.MaxNodes = std::stoull(A.substr(12));
     else if (A.rfind("--jobs=", 0) == 0)
@@ -125,6 +138,7 @@ bool loadProgram(const std::string &Path, Program &Out) {
 StepConfig stepConfig(const Options &O) {
   StepConfig SC;
   SC.EnablePromises = !O.NoPromises;
+  SC.EnableCertCache = O.CertCacheOn;
   return SC;
 }
 
