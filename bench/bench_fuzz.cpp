@@ -1,0 +1,98 @@
+//===- bench/bench_fuzz.cpp - Fuzzer pipeline benchmarks ------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Costs of the differential fuzzer's moving parts, per stage: program
+/// generation, one full oracle run (generate + pipeline + two exhaustive
+/// explorations + refinement), corpus round-tripping, and a shrink of the
+/// Fig 15 counterexample. Throughput here bounds how many programs a
+/// fuzzing campaign covers per second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Refinement.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Shrinker.h"
+#include "lang/Validate.h"
+#include "litmus/Litmus.h"
+#include "litmus/RandomProgram.h"
+#include "opt/Pass.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace psopt;
+
+RandomProgramConfig fuzzShapeConfig(std::uint64_t Seed) {
+  RandomProgramConfig C;
+  C.Seed = Seed;
+  C.NumThreads = 2;
+  C.InstrsPerThread = 3;
+  C.AllowCas = true;
+  C.RedundancyPercent = 35;
+  C.PrintLoadedRegs = true;
+  C.MpSkeletonPercent = 60;
+  return C;
+}
+
+void BM_GenerateProgram(benchmark::State &State) {
+  std::uint64_t Seed = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(generateRandomProgram(fuzzShapeConfig(Seed++)));
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_OracleRun(benchmark::State &State) {
+  // One fuzzer iteration against the verified pipeline, minus shrinking:
+  // the steady-state cost of a clean campaign.
+  Program Src = generateRandomProgram(fuzzShapeConfig(7));
+  std::unique_ptr<Pass> P = createPassByName("dce");
+  StepConfig SC;
+  SC.EnablePromises = false;
+  for (auto _ : State) {
+    Program Tgt = P->run(Src);
+    BehaviorSet SrcB = exploreInterleaving(Src, SC);
+    BehaviorSet TgtB = exploreInterleaving(Tgt, SC);
+    benchmark::DoNotOptimize(checkRefinement(TgtB, SrcB).Holds);
+  }
+}
+BENCHMARK(BM_OracleRun);
+
+void BM_CorpusRoundTrip(benchmark::State &State) {
+  CorpusEntry E;
+  E.Name = "bench";
+  E.Seed = 1;
+  E.Pipeline = {"unsafe-dce"};
+  E.Prog = litmus("fig15_src").Prog;
+  for (auto _ : State) {
+    std::string Text = renderCorpusEntry(E);
+    std::string Err;
+    benchmark::DoNotOptimize(parseCorpusEntry(Text, Err));
+  }
+}
+BENCHMARK(BM_CorpusRoundTrip);
+
+void BM_ShrinkFig15(benchmark::State &State) {
+  const Program &Src = litmus("fig15_src").Prog;
+  std::unique_ptr<Pass> Bad = createPassByName("unsafe-dce");
+  auto StillFails = [&](const Program &P) {
+    Program Tgt = Bad->run(P);
+    if (!isValidProgram(Tgt))
+      return false;
+    StepConfig SC;
+    SC.EnablePromises = false;
+    RefinementResult R = checkRefinement(Tgt, P, SC);
+    return R.Exact && !R.Holds;
+  };
+  for (auto _ : State)
+    benchmark::DoNotOptimize(shrinkProgram(Src, StillFails).InstrsAfter);
+}
+BENCHMARK(BM_ShrinkFig15);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -19,12 +19,15 @@ static std::string traceStr(const Trace &T, const char *Suffix) {
 }
 
 static bool subset(const std::set<Trace> &A, const std::set<Trace> &B,
-                   const char *What, RefinementResult &R) {
+                   const char *What, Behavior::End Class,
+                   RefinementResult &R) {
   for (const Trace &T : A) {
     if (!B.count(T)) {
       R.Holds = false;
-      if (R.CounterExample.empty())
+      if (R.CounterExample.empty()) {
         R.CounterExample = traceStr(T, What);
+        R.Cex = Behavior{T, Class};
+      }
       return false;
     }
   }
@@ -35,11 +38,14 @@ RefinementResult checkRefinement(const BehaviorSet &Target,
                                  const BehaviorSet &Source) {
   RefinementResult R;
   R.Exact = Target.Exhausted && Source.Exhausted;
-  subset(Target.Done, Source.Done, "done (target-only)", R);
-  subset(Target.Abort, Source.Abort, "abort (target-only)", R);
+  subset(Target.Done, Source.Done, "done (target-only)", Behavior::End::Done,
+         R);
+  subset(Target.Abort, Source.Abort, "abort (target-only)",
+         Behavior::End::Abort, R);
   // Output prefixes subsume blocked traces: a blocked execution is an
   // observed prefix, and Prefixes records every reachable prefix.
-  subset(Target.Prefixes, Source.Prefixes, "prefix (target-only)", R);
+  subset(Target.Prefixes, Source.Prefixes, "prefix (target-only)",
+         Behavior::End::Partial, R);
   return R;
 }
 

@@ -21,6 +21,8 @@
 
 #include "explore/Explorer.h"
 
+#include <optional>
+
 namespace psopt {
 
 /// Verdict of a refinement or equivalence check.
@@ -28,6 +30,12 @@ struct RefinementResult {
   bool Holds = true;
   bool Exact = true;          ///< both sides explored exhaustively
   std::string CounterExample; ///< first offending trace, human-readable
+
+  /// First offending behavior, machine-readable: the target-only trace and
+  /// the trace class it was found in (Done/Abort, or Partial for a
+  /// target-only output prefix). Used by the fuzzer's shrinker to replay
+  /// and classify failures; unset when Holds.
+  std::optional<Behavior> Cex;
 
   explicit operator bool() const { return Holds; }
 };

@@ -8,6 +8,7 @@
 #include "explore/Canonical.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -135,6 +136,64 @@ std::optional<Witness> findWitness(const Machine &M, const Trace &Outs,
     }
   }
   return std::nullopt;
+}
+
+ReplayResult replayWitness(const Machine &M, const Witness &W) {
+  ReplayResult R;
+  if (!M.initial()) {
+    R.Error = "machine has no initial state";
+    return R;
+  }
+
+  MachineState Init = *M.initial();
+  canonicalizeState(Init);
+  std::vector<MachineState> Cur{std::move(Init)};
+  bool Aborted = false;
+
+  std::vector<MachineSuccessor> Succs;
+  for (std::size_t I = 0; I < W.Steps.size(); ++I) {
+    const WitnessStep &Step = W.Steps[I];
+    if (Aborted) {
+      R.Error = "step " + std::to_string(I) + " scheduled after abort";
+      return R;
+    }
+    std::vector<MachineState> Next;
+    for (const MachineState &S : Cur) {
+      M.successors(S, Succs);
+      for (MachineSuccessor &Succ : Succs) {
+        if (Succ.Ev.Thread != Step.Thread || Succ.Ev.ThreadEv != Step.Ev)
+          continue;
+        if (Succ.Ev.K == MachineEvent::Kind::Abort) {
+          // The aborting step consumes the schedule without a new state.
+          Aborted = true;
+          continue;
+        }
+        canonicalizeState(Succ.State);
+        if (std::find(Next.begin(), Next.end(), Succ.State) == Next.end())
+          Next.push_back(std::move(Succ.State));
+      }
+    }
+    if (Step.Ev.isOut())
+      R.Observed.Outs.push_back(Step.Ev.OutVal);
+    if (Next.empty() && !Aborted) {
+      R.Error = "step " + std::to_string(I) + " (" + Step.str() +
+                ") matches no enabled transition";
+      return R;
+    }
+    Cur = std::move(Next);
+  }
+
+  R.Observed.Ending = Behavior::End::Partial;
+  if (Aborted)
+    R.Observed.Ending = Behavior::End::Abort;
+  else
+    for (const MachineState &S : Cur)
+      if (S.allTerminated()) {
+        R.Observed.Ending = Behavior::End::Done;
+        break;
+      }
+  R.Ok = true;
+  return R;
 }
 
 } // namespace psopt

@@ -50,6 +50,25 @@ std::optional<Witness> findWitness(const Machine &M, const Trace &Outs,
                                    Behavior::End Ending,
                                    const ExploreConfig &C = {});
 
+/// Outcome of re-executing a stored witness schedule (replayWitness).
+struct ReplayResult {
+  bool Ok = false;      ///< every step matched an enabled transition
+  Behavior Observed;    ///< outputs gathered and the ending reached
+  std::string Error;    ///< on failure: the first step with no match
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Re-executes \p W on \p M: starting from the initial state, each recorded
+/// (thread, event) step must match an enabled machine transition. Event
+/// labels carry no timestamps, so one label can admit several successor
+/// states (e.g. a write inserted at different memory positions); the replay
+/// tracks the full set of label-consistent states, and succeeds when the
+/// schedule runs to completion and some reached state exhibits the recorded
+/// ending. This is the oracle the fuzzer's shrinker uses to confirm that a
+/// counterexample trace is genuinely executable.
+ReplayResult replayWitness(const Machine &M, const Witness &W);
+
 } // namespace psopt
 
 #endif // PSOPT_EXPLORE_WITNESS_H

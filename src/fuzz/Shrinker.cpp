@@ -1,0 +1,241 @@
+//===- fuzz/Shrinker.cpp - Counterexample minimization --------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "lang/Builder.h"
+#include "lang/Validate.h"
+
+#include <deque>
+#include <set>
+#include <tuple>
+
+namespace psopt {
+
+namespace {
+
+/// Functions reachable from the thread entries through call terminators.
+std::set<FuncId> reachableFunctions(const Program &P) {
+  std::set<FuncId> Seen;
+  std::deque<FuncId> Work(P.threads().begin(), P.threads().end());
+  while (!Work.empty()) {
+    FuncId F = Work.front();
+    Work.pop_front();
+    if (!Seen.insert(F).second || !P.hasFunction(F))
+      continue;
+    for (const auto &[L, B] : P.function(F).blocks())
+      if (B.terminator().isCall())
+        Work.push_back(B.terminator().callee());
+  }
+  return Seen;
+}
+
+/// Drops functions no thread can reach (after a thread drop).
+void pruneUnreachable(Program &P) {
+  std::set<FuncId> Live = reachableFunctions(P);
+  for (auto It = P.code().begin(); It != P.code().end();)
+    It = Live.count(It->first) ? std::next(It) : P.code().erase(It);
+}
+
+std::size_t exprSize(const ExprRef &E) {
+  if (!E)
+    return 0;
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return E->constValue() == 0 ? 1 : 2; // nonzero constants cost extra
+  case Expr::Kind::Reg:
+    return 1;
+  case Expr::Kind::Bin:
+    return 1 + exprSize(E->lhs()) + exprSize(E->rhs());
+  }
+  return 1;
+}
+
+unsigned readWeight(ReadMode M) {
+  return M == ReadMode::ACQ ? 2 : M == ReadMode::RLX ? 1 : 0;
+}
+unsigned writeWeight(WriteMode M) {
+  return M == WriteMode::REL ? 2 : M == WriteMode::RLX ? 1 : 0;
+}
+
+/// Lexicographic shrink metric; every accepted mutation strictly reduces it.
+using Metric = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                          std::size_t>;
+
+Metric metricOf(const Program &P) {
+  std::size_t Instrs = 0, Cas = 0, Modes = 0, Exprs = 0;
+  for (FuncId F : reachableFunctions(P)) {
+    if (!P.hasFunction(F))
+      continue;
+    for (const auto &[L, B] : P.function(F).blocks()) {
+      Instrs += B.size();
+      for (const Instr &I : B.instructions()) {
+        switch (I.kind()) {
+        case Instr::Kind::Load:
+          Modes += readWeight(I.readMode());
+          break;
+        case Instr::Kind::Store:
+          Modes += writeWeight(I.writeMode());
+          Exprs += exprSize(I.expr());
+          break;
+        case Instr::Kind::Cas:
+          ++Cas;
+          Modes += readWeight(I.readMode()) + writeWeight(I.writeMode());
+          Exprs += exprSize(I.casExpected()) + exprSize(I.casDesired());
+          break;
+        case Instr::Kind::Assign:
+        case Instr::Kind::Print:
+          Exprs += exprSize(I.expr());
+          break;
+        case Instr::Kind::Skip:
+          break;
+        }
+      }
+      if (B.terminator().isBe())
+        Exprs += exprSize(B.terminator().cond());
+    }
+  }
+  return {Instrs, P.threads().size(), Cas, Modes, Exprs};
+}
+
+/// Rebuilds instruction \p I with expression operands replaced by \p Rewrite
+/// applied to each; returns nullopt when the instruction has no expression
+/// operands.
+using ExprRewrite = ExprRef (*)(const ExprRef &);
+
+std::optional<Instr> rewriteExprs(const Instr &I, ExprRewrite Rewrite) {
+  switch (I.kind()) {
+  case Instr::Kind::Store:
+    return Instr::makeStore(I.var(), Rewrite(I.expr()), I.writeMode());
+  case Instr::Kind::Assign:
+    return Instr::makeAssign(I.dest(), Rewrite(I.expr()));
+  case Instr::Kind::Print:
+    return Instr::makePrint(Rewrite(I.expr()));
+  case Instr::Kind::Cas:
+    return Instr::makeCas(I.dest(), I.var(), Rewrite(I.casExpected()),
+                          Rewrite(I.casDesired()), I.readMode(),
+                          I.writeMode());
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprRef zeroExpr(const ExprRef &) { return dsl::cst(0); }
+
+/// Generates every one-step reduction candidate of \p P, in
+/// biggest-cut-first order.
+std::vector<Program> candidates(const Program &P) {
+  std::vector<Program> Out;
+
+  // Drop one thread.
+  for (std::size_t T = 0; T < P.threads().size(); ++T) {
+    Program Q = P;
+    std::vector<FuncId> Threads = Q.threads();
+    Threads.erase(Threads.begin() + static_cast<std::ptrdiff_t>(T));
+    Q.setThreads(std::move(Threads));
+    pruneUnreachable(Q);
+    Out.push_back(std::move(Q));
+  }
+
+  std::set<FuncId> Live = reachableFunctions(P);
+  for (FuncId F : Live) {
+    if (!P.hasFunction(F))
+      continue;
+    for (const auto &[L, B] : P.function(F).blocks()) {
+      // Program only exposes const function access; mutate via the code map.
+      auto MutBlock = [](Program &Q, FuncId Fn, BlockLabel Lb) -> BasicBlock & {
+        return Q.code().find(Fn)->second.block(Lb);
+      };
+      // Drop one instruction.
+      for (std::size_t I = 0; I < B.size(); ++I) {
+        Program Q = P;
+        auto &Instrs = MutBlock(Q, F, L).instructions();
+        Instrs.erase(Instrs.begin() + static_cast<std::ptrdiff_t>(I));
+        Out.push_back(std::move(Q));
+      }
+      // Collapse a conditional branch to one arm.
+      if (B.terminator().isBe()) {
+        for (BlockLabel Arm :
+             {B.terminator().thenTarget(), B.terminator().elseTarget()}) {
+          Program Q = P;
+          MutBlock(Q, F, L).setTerminator(Terminator::makeJmp(Arm));
+          Out.push_back(std::move(Q));
+        }
+      }
+      for (std::size_t I = 0; I < B.size(); ++I) {
+        const Instr &In = B.instructions()[I];
+        auto Replace = [&](Instr New) {
+          Program Q = P;
+          MutBlock(Q, F, L).instructions()[I] = std::move(New);
+          Out.push_back(std::move(Q));
+        };
+        // Demote CAS to a plain load.
+        if (In.isCas())
+          Replace(Instr::makeLoad(In.dest(), In.var(), In.readMode()));
+        // Weaken orderings toward rlx.
+        if ((In.isLoad() || In.isCas()) && In.readMode() == ReadMode::ACQ) {
+          if (In.isLoad())
+            Replace(Instr::makeLoad(In.dest(), In.var(), ReadMode::RLX));
+          else
+            Replace(Instr::makeCas(In.dest(), In.var(), In.casExpected(),
+                                   In.casDesired(), ReadMode::RLX,
+                                   In.writeMode()));
+        }
+        if ((In.isStore() || In.isCas()) &&
+            In.writeMode() == WriteMode::REL) {
+          if (In.isStore())
+            Replace(Instr::makeStore(In.var(), In.expr(), WriteMode::RLX));
+          else
+            Replace(Instr::makeCas(In.dest(), In.var(), In.casExpected(),
+                                   In.casDesired(), In.readMode(),
+                                   WriteMode::RLX));
+        }
+        // Replace expression operands by 0.
+        if (std::optional<Instr> New = rewriteExprs(In, zeroExpr))
+          Replace(std::move(*New));
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::size_t programInstructionCount(const Program &P) {
+  return std::get<0>(metricOf(P));
+}
+
+ShrinkResult shrinkProgram(const Program &P, const ShrinkOracle &StillFails,
+                           const ShrinkConfig &C) {
+  ShrinkResult R;
+  R.Prog = P;
+  R.InstrsBefore = programInstructionCount(P);
+
+  Metric Best = metricOf(R.Prog);
+  bool Improved = true;
+  while (Improved && R.Checks < C.MaxChecks) {
+    Improved = false;
+    for (Program &Q : candidates(R.Prog)) {
+      if (R.Checks >= C.MaxChecks)
+        break;
+      Metric M = metricOf(Q);
+      if (!(M < Best) || !isValidProgram(Q))
+        continue;
+      ++R.Checks;
+      if (!StillFails(Q))
+        continue;
+      R.Prog = std::move(Q);
+      Best = M;
+      Improved = true;
+      break; // regenerate candidates from the smaller program
+    }
+  }
+
+  R.InstrsAfter = programInstructionCount(R.Prog);
+  return R;
+}
+
+} // namespace psopt

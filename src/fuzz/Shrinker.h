@@ -1,0 +1,68 @@
+//===- fuzz/Shrinker.h - Counterexample minimization ------------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging shrinker for fuzzer counterexamples. Given a program on
+/// which some oracle predicate fails (typically: "the pipeline's output
+/// does not refine it"), greedily applies size-reducing mutations while the
+/// predicate keeps failing:
+///
+///   * drop a thread (unreachable functions are pruned with it);
+///   * drop a single instruction;
+///   * collapse a conditional branch to one of its arms;
+///   * demote a CAS to a plain load;
+///   * weaken an ordering (acq -> rlx on reads, rel -> rlx on writes);
+///   * replace an expression operand by the constant 0.
+///
+/// Every candidate must still validate; progress is measured by a
+/// lexicographic metric (instructions, threads, CAS count, ordering
+/// strength, expression size) so each accepted mutation strictly shrinks
+/// and the loop terminates. The caller's oracle is invoked once per
+/// candidate, bounded by ShrinkConfig::MaxChecks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_FUZZ_SHRINKER_H
+#define PSOPT_FUZZ_SHRINKER_H
+
+#include "lang/Program.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace psopt {
+
+/// Shrinking budget.
+struct ShrinkConfig {
+  /// Maximum oracle evaluations. Shrinking stops (keeping the best program
+  /// so far) when the budget is spent.
+  unsigned MaxChecks = 500;
+};
+
+/// The failure oracle: returns true while the program still exhibits the
+/// failure being minimized. Must be deterministic.
+using ShrinkOracle = std::function<bool(const Program &)>;
+
+/// Outcome of a shrink.
+struct ShrinkResult {
+  Program Prog;                 ///< smallest failing program found
+  unsigned Checks = 0;          ///< oracle calls spent
+  std::size_t InstrsBefore = 0; ///< instruction count of the input
+  std::size_t InstrsAfter = 0;  ///< instruction count of the result
+};
+
+/// Minimizes \p P under \p StillFails. \p P itself must satisfy the oracle;
+/// the result always does.
+ShrinkResult shrinkProgram(const Program &P, const ShrinkOracle &StillFails,
+                           const ShrinkConfig &C = {});
+
+/// Instructions in functions reachable from the thread entries (terminators
+/// not counted) — the shrinker's headline size metric.
+std::size_t programInstructionCount(const Program &P);
+
+} // namespace psopt
+
+#endif // PSOPT_FUZZ_SHRINKER_H

@@ -7,6 +7,7 @@
 #include "litmus/RandomProgram.h"
 #include "lang/Builder.h"
 
+#include <algorithm>
 #include <random>
 
 namespace psopt {
@@ -16,7 +17,8 @@ namespace {
 /// Per-program generation state.
 class Generator {
 public:
-  explicit Generator(const RandomProgramConfig &C) : C(C), Rng(C.Seed) {
+  explicit Generator(const RandomProgramConfig &C)
+      : C(C), Rng(C.Seed), History(C.NumThreads), LoadedRegs(C.NumThreads) {
     for (unsigned I = 0; I < C.NumNaVars; ++I)
       NaVars.push_back(VarId("d" + std::to_string(I)));
     for (unsigned I = 0; I < C.NumAtomicVars; ++I)
@@ -24,6 +26,8 @@ public:
   }
 
   Program generate() {
+    MpSkeleton = C.NumThreads >= 2 && !NaVars.empty() &&
+                 !AtomicVars.empty() && percent(C.MpSkeletonPercent);
     Program P;
     for (VarId A : AtomicVars)
       P.addAtomic(A);
@@ -61,13 +65,34 @@ private:
     }
   }
 
+  bool percent(unsigned P) { return P != 0 && pick(100) < P; }
+
+  ReadMode atomicReadMode() {
+    return percent(C.AcqRelPercent) ? ReadMode::ACQ : ReadMode::RLX;
+  }
+  WriteMode atomicWriteMode() {
+    return percent(C.AcqRelPercent) ? WriteMode::REL : WriteMode::RLX;
+  }
+
   /// One random straight-line instruction for thread \p T.
   Instr randomInstr(unsigned T) {
-    // Weighted choice: memory traffic dominates.
-    switch (pick(6)) {
+    // Redundancy: re-issue a recent load into a fresh register or recompute
+    // a recent expression, giving CSE/LInv something to eliminate.
+    if (!History[T].empty() && percent(C.RedundancyPercent)) {
+      const Instr &Old = History[T][pick(
+          static_cast<unsigned>(History[T].size()))];
+      if (Old.isLoad())
+        return Instr::makeLoad(randomReg(T), Old.var(), Old.readMode());
+      return Instr::makeAssign(randomReg(T), Old.expr());
+    }
+    // Weighted choice: memory traffic dominates; CAS weight is a knob.
+    // Slots 0-4 are the base kinds (4 = assign); slots >= 5 are CAS.
+    unsigned CasW = C.AllowCas ? C.CasWeight : 0;
+    unsigned Roll = pick(5 + CasW);
+    switch (Roll < 5 ? Roll : 5u) {
     case 0: { // non-atomic load
       VarId X = NaVars[pick(static_cast<unsigned>(NaVars.size()))];
-      return Instr::makeLoad(randomReg(T), X, ReadMode::NA);
+      return remember(T, Instr::makeLoad(randomReg(T), X, ReadMode::NA));
     }
     case 1: { // non-atomic store (restricted to owned vars when exclusive)
       VarId X = naStoreTarget(T);
@@ -75,28 +100,48 @@ private:
     }
     case 2: { // atomic load
       VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
-      return Instr::makeLoad(randomReg(T), A,
-                             coin() ? ReadMode::RLX : ReadMode::ACQ);
+      return remember(T, Instr::makeLoad(randomReg(T), A, atomicReadMode()));
     }
     case 3: { // atomic store
       VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
-      return Instr::makeStore(A, randomExpr(T),
-                              coin() ? WriteMode::RLX : WriteMode::REL);
+      return Instr::makeStore(A, randomExpr(T), atomicWriteMode());
     }
-    case 4: { // CAS (or assign when disabled)
-      if (C.AllowCas) {
-        VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
-        return Instr::makeCas(randomReg(T), A,
-                              dsl::cst(static_cast<Val>(pick(2))),
-                              dsl::cst(static_cast<Val>(pick(3))),
-                              coin() ? ReadMode::RLX : ReadMode::ACQ,
-                              coin() ? WriteMode::RLX : WriteMode::REL);
-      }
-      [[fallthrough]];
+    case 4: // register computation
+      return remember(T, Instr::makeAssign(randomReg(T), randomExpr(T)));
+    default: { // CAS (weight 0 when disabled, so this arm never fires then)
+      VarId A = AtomicVars[pick(static_cast<unsigned>(AtomicVars.size()))];
+      return Instr::makeCas(randomReg(T), A,
+                            dsl::cst(static_cast<Val>(pick(2))),
+                            dsl::cst(static_cast<Val>(pick(3))),
+                            atomicReadMode(), atomicWriteMode());
     }
-    default: // register computation
-      return Instr::makeAssign(randomReg(T), randomExpr(T));
     }
+  }
+
+  /// Records redundancy-eligible instructions (loads and assigns) and the
+  /// registers that received loaded values (for PrintLoadedRegs).
+  Instr remember(unsigned T, Instr I) {
+    History[T].push_back(I);
+    if (I.isLoad())
+      rememberLoadedReg(T, I.dest());
+    return I;
+  }
+
+  void rememberLoadedReg(unsigned T, RegId R) {
+    auto &Regs = LoadedRegs[T];
+    if (std::find(Regs.begin(), Regs.end(), R) == Regs.end())
+      Regs.push_back(R);
+  }
+
+  /// A na variable thread \p T never stores to: loading it anywhere in T is
+  /// loop-invariant. Prefers a variable owned by another thread; falls back
+  /// to a dedicated never-stored variable.
+  VarId invariantLoadVar(unsigned T) {
+    if (C.ExclusiveNaWriters)
+      for (unsigned I = 0; I < NaVars.size(); ++I)
+        if (I % C.NumThreads != T)
+          return NaVars[I];
+    return VarId("dinv");
   }
 
   VarId naStoreTarget(unsigned T) {
@@ -114,7 +159,80 @@ private:
     return Owned[pick(static_cast<unsigned>(Owned.size()))];
   }
 
+  /// Message-passing publisher (thread 0 of the MP skeleton): na payload,
+  /// release flag, coin-flip payload overwrite (the overwrite makes the
+  /// first store dead under naive liveness — Fig 15's shape), then the
+  /// usual random body.
+  Function generatePublisher(unsigned T) {
+    FunctionBuilder FB;
+    FB.startBlock(0);
+    FB.store(NaVars[0], dsl::cst(1), WriteMode::NA);
+    FB.store(AtomicVars[0], dsl::cst(1), WriteMode::REL);
+    if (coin())
+      FB.store(NaVars[0], dsl::cst(2), WriteMode::NA);
+    for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+      appendRandom(FB, T);
+    emitPrints(FB, T);
+    FB.ret();
+    return FB.take();
+  }
+
+  /// Message-passing reader (thread 1 of the MP skeleton). Straight-line
+  /// variant: payload read, acquire flag read, guarded payload re-read —
+  /// the load equation across the acquire is exactly what unsafe CSE keeps
+  /// (Fig 1's defect, diamond form). Loop variant: the payload is re-read
+  /// inside an acquire spin, the loop unsafe LInv/LICM hoist out of
+  /// (fig1_acq_src's shape).
+  Function generateReader(unsigned T) {
+    FunctionBuilder FB;
+    VarId D = NaVars[0];
+    VarId A = AtomicVars[0];
+    RegId Flag = RegId("qflag" + std::to_string(T));
+    RegId Post = RegId("qpost" + std::to_string(T));
+    if (C.AllowLoop && coin()) {
+      RegId Iter = RegId("qiter" + std::to_string(T));
+      FB.startBlock(0).assign(Iter, 0).jmp(1);
+      FB.startBlock(1).be(
+          dsl::lt(dsl::reg(Iter), dsl::cst(static_cast<Val>(C.LoopTripCount))),
+          2, 4);
+      FB.startBlock(2).load(Flag, A, ReadMode::ACQ);
+      rememberLoadedReg(T, Flag);
+      FB.be(dsl::eq(dsl::reg(Flag), dsl::cst(0)), 2, 3);
+      FB.startBlock(3).load(Post, D, ReadMode::NA);
+      rememberLoadedReg(T, Post);
+      for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+        appendRandom(FB, T);
+      FB.assign(Iter, dsl::add(dsl::reg(Iter), dsl::cst(1))).jmp(1);
+      FB.startBlock(4);
+      emitPrints(FB, T);
+      FB.ret();
+      return FB.take();
+    }
+    RegId Pre = RegId("qpre" + std::to_string(T));
+    FB.startBlock(0);
+    FB.load(Pre, D, ReadMode::NA);
+    rememberLoadedReg(T, Pre);
+    FB.load(Flag, A, ReadMode::ACQ);
+    rememberLoadedReg(T, Flag);
+    FB.be(dsl::eq(dsl::reg(Flag), dsl::cst(1)), 1, 2);
+    FB.startBlock(1);
+    FB.load(Post, D, ReadMode::NA);
+    rememberLoadedReg(T, Post);
+    for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+      appendRandom(FB, T);
+    FB.jmp(3);
+    FB.startBlock(2).jmp(3);
+    FB.startBlock(3);
+    emitPrints(FB, T);
+    FB.ret();
+    return FB.take();
+  }
+
   Function generateThread(unsigned T) {
+    if (MpSkeleton && T == 0)
+      return generatePublisher(T);
+    if (MpSkeleton && T == 1)
+      return generateReader(T);
     FunctionBuilder FB;
     BlockLabel Next = 0;
 
@@ -128,6 +246,11 @@ private:
       FB.jmp(1);
       FB.startBlock(1).be(dsl::lt(dsl::cst(0), dsl::reg(Ctr)), 2, 3);
       FB.startBlock(2);
+      if (C.LoopInvariantLoad) {
+        RegId Inv = RegId("qinv" + std::to_string(T));
+        FB.load(Inv, invariantLoadVar(T), ReadMode::NA);
+        rememberLoadedReg(T, Inv);
+      }
       for (unsigned I = 0; I < C.InstrsPerThread; ++I)
         appendRandom(FB, T);
       FB.assign(Ctr, dsl::sub(dsl::reg(Ctr), dsl::cst(1))).jmp(1);
@@ -189,13 +312,24 @@ private:
 
   void emitPrints(FunctionBuilder &FB, unsigned T) {
     // Tag outputs with the thread id so traces identify the printer.
-    for (unsigned I = 0; I < C.PrintsPerThread; ++I)
-      FB.print(dsl::add(dsl::mul(dsl::reg(randomReg(T)), dsl::cst(10)),
+    auto Tagged = [&](RegId R) {
+      FB.print(dsl::add(dsl::mul(dsl::reg(R), dsl::cst(10)),
                         dsl::cst(static_cast<Val>(T))));
+    };
+    if (C.PrintLoadedRegs && !LoadedRegs[T].empty()) {
+      for (RegId R : LoadedRegs[T])
+        Tagged(R);
+      return;
+    }
+    for (unsigned I = 0; I < C.PrintsPerThread; ++I)
+      Tagged(randomReg(T));
   }
 
   RandomProgramConfig C;
   std::mt19937_64 Rng;
+  bool MpSkeleton = false;
+  std::vector<std::vector<Instr>> History;    // per-thread, for redundancy
+  std::vector<std::vector<RegId>> LoadedRegs; // per-thread load destinations
   std::vector<VarId> NaVars;
   std::vector<VarId> AtomicVars;
 };

@@ -43,6 +43,44 @@ struct RandomProgramConfig {
   unsigned LoopTripCount = 2;
   bool ExclusiveNaWriters = true;///< ww-RF by construction
   unsigned PrintsPerThread = 1;  ///< trailing prints of register values
+
+  // --- Fuzzing knobs (src/fuzz) -------------------------------------------
+  // The defaults reproduce the historical instruction mix; the differential
+  // fuzzer dials these up so the optimizers actually fire and the atomic
+  // orderings (the language's fences) get heavier coverage.
+
+  /// Percent chance [0, 100] that an atomic access is acq/rel rather than
+  /// rlx. 50 matches the historical fair coin.
+  unsigned AcqRelPercent = 50;
+
+  /// Relative weight of CAS in the instruction mix; every other instruction
+  /// kind has weight 1 (historical mix: one CAS slot among six).
+  unsigned CasWeight = 1;
+
+  /// Percent chance [0, 100] that an instruction re-issues a recently
+  /// emitted load (same variable and mode, fresh destination) or recomputes
+  /// a recently used expression — the redundancy CSE/LInv exists to remove.
+  unsigned RedundancyPercent = 0;
+
+  /// Seed every generated loop body with one na load of a variable the
+  /// thread never stores, so LICM has a hoistable loop-invariant access.
+  bool LoopInvariantLoad = false;
+
+  /// Print every load destination register at thread exit instead of
+  /// PrintsPerThread random registers — maximal observability, so behavior
+  /// differences introduced by a broken pass actually reach the trace.
+  bool PrintLoadedRegs = false;
+
+  /// Percent chance [0, 100] the program is built around a release/acquire
+  /// message-passing pair (threads 0 and 1; any further threads stay fully
+  /// random): thread 0 publishes a na payload then a release flag (with a
+  /// coin-flip payload overwrite after the flag — the Fig 15 dead-store
+  /// shape), and thread 1 either reads the payload before and after an
+  /// acquire flag read (the CSE-across-acquire bait) or re-reads it inside
+  /// an acquire spin loop (the Fig 1 LInv/LICM bait). Random instructions
+  /// still fill the bodies, so the skeleton composes with everything else.
+  /// 0 (the default) leaves the historical generator untouched.
+  unsigned MpSkeletonPercent = 0;
 };
 
 /// Generates a program from \p C. Deterministic in the seed.

@@ -31,4 +31,34 @@ std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses() {
   return Ps;
 }
 
+const std::vector<std::string> &verifiedPassNames() {
+  static const std::vector<std::string> Names = {"constprop", "dce", "cse",
+                                                 "licm", "simplifycfg"};
+  return Names;
+}
+
+std::unique_ptr<Pass> createPassByName(const std::string &Name) {
+  if (Name == "constprop")
+    return createConstProp();
+  if (Name == "dce")
+    return createDCE();
+  if (Name == "cse")
+    return createCSE();
+  if (Name == "linv")
+    return createLInv();
+  if (Name == "licm")
+    return createLICM();
+  if (Name == "simplifycfg")
+    return createSimplifyCfg();
+  if (Name == "unsafe-dce")
+    return createUnsafeDCE();
+  if (Name == "unsafe-cse")
+    return createUnsafeCSE();
+  if (Name == "unsafe-linv")
+    return createUnsafeLInv();
+  if (Name == "unsafe-licm")
+    return createUnsafeLICM();
+  return nullptr;
+}
+
 } // namespace psopt

@@ -99,6 +99,16 @@ std::unique_ptr<Pass> createUnsafeLICM();
 /// All four verified optimizers, for parameterized test/bench sweeps.
 std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses();
 
+/// Names accepted by createPassByName for the verified passes, in the order
+/// createAllVerifiedPasses uses (plus the trace-preserving simplifycfg).
+const std::vector<std::string> &verifiedPassNames();
+
+/// Creates a pass by CLI name: "constprop", "dce", "cse", "linv", "licm",
+/// "simplifycfg", or the intentionally broken variants "unsafe-dce",
+/// "unsafe-cse", "unsafe-linv", "unsafe-licm" (for the fuzzer's
+/// demonstrate-the-oracle mode). Returns null for unknown names.
+std::unique_ptr<Pass> createPassByName(const std::string &Name);
+
 } // namespace psopt
 
 #endif // PSOPT_OPT_PASS_H

@@ -129,6 +129,16 @@ struct ThreadEvent {
 
   bool isOut() const { return K == Kind::Out; }
 
+  /// Structural equality over the whole label. Fields not meaningful for a
+  /// kind are default-initialized by the factories, so comparing all of
+  /// them is exact (used by witness replay to match recorded schedules).
+  bool operator==(const ThreadEvent &O) const {
+    return K == O.K && RM == O.RM && WM == O.WM && Var == O.Var &&
+           ReadVal == O.ReadVal && WrittenVal == O.WrittenVal &&
+           OutVal == O.OutVal;
+  }
+  bool operator!=(const ThreadEvent &O) const { return !(*this == O); }
+
   std::string str() const;
 };
 

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lang/Parser.h"
-#include "tests/opt/OptTestUtil.h"
+#include "support/PassTestSupport.h"
 
 #include <gtest/gtest.h>
 

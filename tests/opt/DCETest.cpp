@@ -6,7 +6,7 @@
 
 #include "lang/Parser.h"
 #include "litmus/Litmus.h"
-#include "tests/opt/OptTestUtil.h"
+#include "support/PassTestSupport.h"
 
 #include <gtest/gtest.h>
 

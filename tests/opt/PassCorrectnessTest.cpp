@@ -13,7 +13,7 @@
 
 #include "litmus/Litmus.h"
 #include "support/Debug.h"
-#include "tests/opt/OptTestUtil.h"
+#include "support/PassTestSupport.h"
 
 #include <gtest/gtest.h>
 

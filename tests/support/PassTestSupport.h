@@ -1,11 +1,19 @@
-//===- tests/opt/OptTestUtil.h - Shared helpers for pass tests --*- C++ -*-===//
+//===- tests/support/PassTestSupport.h - Shared test helpers ----*- C++ -*-===//
 //
 // Part of psopt.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across the test tree (the psopt_test_support interface
+/// library): the Def 6.4 pass-correctness check used by every optimizer
+/// test, and small file/program conveniences the fuzzer and CLI tests
+/// need too.
+///
+//===----------------------------------------------------------------------===//
 
-#ifndef PSOPT_TESTS_OPT_OPTTESTUTIL_H
-#define PSOPT_TESTS_OPT_OPTTESTUTIL_H
+#ifndef PSOPT_TESTS_SUPPORT_PASSTESTSUPPORT_H
+#define PSOPT_TESTS_SUPPORT_PASSTESTSUPPORT_H
 
 #include "explore/Explorer.h"
 #include "explore/Refinement.h"
@@ -15,6 +23,9 @@
 #include "race/WWRace.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
 
 namespace psopt {
 
@@ -51,6 +62,16 @@ inline const Function &firstFunction(const Program &P) {
   return P.function(FuncId("f"));
 }
 
+/// Writes \p Contents to \p Name inside gtest's temp directory and returns
+/// the full path.
+inline std::string writeTempFile(const std::string &Name,
+                                 const std::string &Contents) {
+  std::string Path = std::string(::testing::TempDir()) + Name;
+  std::ofstream F(Path);
+  F << Contents;
+  return Path;
+}
+
 } // namespace psopt
 
-#endif // PSOPT_TESTS_OPT_OPTTESTUTIL_H
+#endif // PSOPT_TESTS_SUPPORT_PASSTESTSUPPORT_H

@@ -156,4 +156,30 @@ TEST(CliTest, ParseErrorsAreReported) {
   EXPECT_NE(R.Output.find("parse error"), std::string::npos);
 }
 
+TEST(CliTest, FuzzVerifiedPassesReportCleanCampaign) {
+  CliResult R = runCli("fuzz --runs=5 --seed=7 --no-shrink");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("runs=5"), std::string::npos);
+  EXPECT_NE(R.Output.find("failures=0"), std::string::npos);
+  EXPECT_NE(R.Output.find("seed=7"), std::string::npos);
+}
+
+TEST(CliTest, FuzzCatchesUnsafePassAndPrintsSeedAndPipeline) {
+  CliResult R = runCli("fuzz --runs=1 --seed=1 --passes=unsafe-dce "
+                       "--no-shrink --no-differential");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("FAILURE[refinement]"), std::string::npos);
+  EXPECT_NE(R.Output.find("seed=1"), std::string::npos);
+  EXPECT_NE(R.Output.find("pipeline=unsafe-dce"), std::string::npos);
+}
+
+TEST(CliTest, FuzzReplaysTheCheckedInCorpus) {
+  CliResult R = runCli(std::string("fuzz --replay=") + PSOPT_CORPUS_DIR);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 mismatches"), std::string::npos);
+  // Satellite contract: every replay line names the seed and pipeline.
+  EXPECT_NE(R.Output.find("seed="), std::string::npos);
+  EXPECT_NE(R.Output.find("pipeline="), std::string::npos);
+}
+
 } // namespace

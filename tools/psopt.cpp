@@ -20,6 +20,11 @@
 //       reconstruct an execution producing the given outputs
 //   psopt litmus   [name]
 //       run a registered litmus test (all names when omitted)
+//   psopt fuzz     [--seed=N] [--runs=N] [--jobs=N] [--passes=p1,p2,...]
+//                  [--promises] [--no-shrink] [--no-differential]
+//                  [--time-budget=SEC] [--corpus=DIR] [--replay=DIR]
+//       differential-fuzz the optimizer against the exploration oracle;
+//       --replay re-checks a directory of stored reproducers instead
 //
 // explore/race/refine/equiv additionally accept --cert-cache=on|off
 // (default on): memoize certification verdicts across machine steps.
@@ -29,6 +34,7 @@
 #include "explore/Explorer.h"
 #include "explore/Refinement.h"
 #include "explore/Witness.h"
+#include "fuzz/Fuzzer.h"
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "lang/Validate.h"
@@ -56,10 +62,21 @@ struct Options {
   bool RwRace = false;
   bool CertCacheOn = true;
   std::uint64_t MaxNodes = 2'000'000;
+  bool MaxNodesSet = false;
   unsigned Jobs = 1;
   std::string Passes;
   std::string TraceSpec;
   std::string End = "done";
+
+  // fuzz
+  std::uint64_t Seed = 1;
+  unsigned Runs = 100;
+  bool Promises = false; ///< fuzz explores promise-free by default
+  bool Shrink = true;
+  bool Differential = true;
+  unsigned TimeBudgetSec = 0;
+  std::string CorpusDir;
+  std::string ReplayDir;
 };
 
 int usage() {
@@ -76,9 +93,19 @@ int usage() {
       "  equiv    <file> [--no-promises] [--jobs=N] [--cert-cache=on|off]\n"
       "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
       "  litmus   [name]\n"
+      "  fuzz     [--seed=N] [--runs=N] [--jobs=N] [--passes=p1,p2,...]\n"
+      "           [--promises] [--no-shrink] [--no-differential]\n"
+      "           [--time-budget=SEC] [--corpus=DIR] [--replay=DIR]\n"
       "--jobs=N explores with N worker threads (identical BehaviorSet).\n"
       "--cert-cache memoizes certification verdicts across machine steps\n"
-      "(default on; behavior-identical to off, see DESIGN.md section 8).\n");
+      "(default on; behavior-identical to off, see DESIGN.md section 8).\n"
+      "fuzz generates seeded random programs, runs a (random) verified-pass\n"
+      "pipeline, and checks target-refines-source against the exploration\n"
+      "oracle, cross-validating --jobs and the cert cache; failures are\n"
+      "shrunk and written to --corpus as replayable reproducers. Every\n"
+      "report line carries the per-run seed and the pipeline; rerun one\n"
+      "with --seed=<logged> --runs=1. --replay=DIR re-checks stored\n"
+      "reproducers (honoring --jobs and --cert-cache) instead of fuzzing.\n");
   return 2;
 }
 
@@ -95,8 +122,25 @@ bool parseArgs(int argc, char **argv, Options &O) {
       O.CertCacheOn = true;
     else if (A == "--cert-cache=off")
       O.CertCacheOn = false;
-    else if (A.rfind("--max-nodes=", 0) == 0)
+    else if (A.rfind("--max-nodes=", 0) == 0) {
       O.MaxNodes = std::stoull(A.substr(12));
+      O.MaxNodesSet = true;
+    } else if (A == "--promises")
+      O.Promises = true;
+    else if (A == "--no-shrink")
+      O.Shrink = false;
+    else if (A == "--no-differential")
+      O.Differential = false;
+    else if (A.rfind("--seed=", 0) == 0)
+      O.Seed = std::stoull(A.substr(7));
+    else if (A.rfind("--runs=", 0) == 0)
+      O.Runs = static_cast<unsigned>(std::stoul(A.substr(7)));
+    else if (A.rfind("--time-budget=", 0) == 0)
+      O.TimeBudgetSec = static_cast<unsigned>(std::stoul(A.substr(14)));
+    else if (A.rfind("--corpus=", 0) == 0)
+      O.CorpusDir = A.substr(9);
+    else if (A.rfind("--replay=", 0) == 0)
+      O.ReplayDir = A.substr(9);
     else if (A.rfind("--jobs=", 0) == 0)
       O.Jobs = static_cast<unsigned>(std::stoul(A.substr(7)));
     else if (A.rfind("--passes=", 0) == 0)
@@ -190,22 +234,6 @@ int cmdRace(const Options &O) {
   return R.RaceFree ? 0 : 1;
 }
 
-std::unique_ptr<Pass> passByName(const std::string &Name) {
-  if (Name == "constprop")
-    return createConstProp();
-  if (Name == "dce")
-    return createDCE();
-  if (Name == "cse")
-    return createCSE();
-  if (Name == "linv")
-    return createLInv();
-  if (Name == "licm")
-    return createLICM();
-  if (Name == "simplifycfg")
-    return createSimplifyCfg();
-  return nullptr;
-}
-
 int cmdOptimize(const Options &O) {
   Program P;
   if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
@@ -218,7 +246,7 @@ int cmdOptimize(const Options &O) {
   std::stringstream SS(O.Passes);
   std::string Name;
   while (std::getline(SS, Name, ',')) {
-    std::unique_ptr<Pass> Pass_ = passByName(Name);
+    std::unique_ptr<Pass> Pass_ = createPassByName(Name);
     if (!Pass_) {
       std::fprintf(stderr, "unknown pass: %s\n", Name.c_str());
       return 2;
@@ -322,6 +350,76 @@ int cmdLitmus(const Options &O) {
   return 2;
 }
 
+std::string joinNames(const std::vector<std::string> &Names) {
+  std::string Out;
+  for (std::size_t I = 0; I < Names.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Names[I];
+  }
+  return Out;
+}
+
+int cmdFuzzReplay(const Options &O) {
+  std::vector<std::string> Files = listCorpusFiles(O.ReplayDir);
+  if (Files.empty()) {
+    std::fprintf(stderr, "no .rtl reproducers in %s\n", O.ReplayDir.c_str());
+    return 2;
+  }
+  ReplayConfig RC;
+  RC.Jobs = O.Jobs;
+  RC.CertCache = O.CertCacheOn;
+  RC.MaxNodes = O.MaxNodes;
+  unsigned Bad = 0;
+  for (const std::string &File : Files) {
+    std::string Err;
+    std::optional<CorpusEntry> E = loadCorpusEntry(File, Err);
+    if (!E) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      ++Bad;
+      continue;
+    }
+    ReplayVerdict V = replayCorpusEntry(*E, RC);
+    std::printf("%-28s seed=%llu pipeline=%s expect=%s: %s — %s\n",
+                E->Name.c_str(), static_cast<unsigned long long>(E->Seed),
+                joinNames(E->Pipeline).c_str(),
+                E->ExpectFail ? "fail" : "hold", V.Match ? "OK" : "MISMATCH",
+                V.Detail.c_str());
+    if (!V.Match)
+      ++Bad;
+  }
+  std::printf("replayed %zu reproducers (jobs=%u cert-cache=%s): "
+              "%u mismatches\n",
+              Files.size(), O.Jobs, O.CertCacheOn ? "on" : "off", Bad);
+  return Bad ? 1 : 0;
+}
+
+int cmdFuzz(const Options &O) {
+  if (!O.ReplayDir.empty())
+    return cmdFuzzReplay(O);
+  FuzzConfig C;
+  C.Seed = O.Seed;
+  C.Runs = O.Runs;
+  C.Jobs = O.Jobs;
+  C.Differential = O.Differential;
+  C.EnablePromises = O.Promises;
+  C.Shrink = O.Shrink;
+  C.TimeBudgetSec = O.TimeBudgetSec;
+  if (O.MaxNodesSet) // otherwise keep the fuzzer's skip-friendly bound
+    C.MaxNodes = O.MaxNodes;
+  C.CorpusDir = O.CorpusDir;
+  if (!O.Passes.empty()) {
+    std::stringstream SS(O.Passes);
+    std::string Name;
+    while (std::getline(SS, Name, ','))
+      if (!Name.empty())
+        C.Pipeline.push_back(Name);
+  }
+  FuzzReport R = runFuzzer(C);
+  std::printf("%s", R.str().c_str());
+  return R.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -345,5 +443,7 @@ int main(int argc, char **argv) {
     return cmdWitness(O);
   if (Cmd == "litmus")
     return cmdLitmus(O);
+  if (Cmd == "fuzz")
+    return cmdFuzz(O);
   return usage();
 }
