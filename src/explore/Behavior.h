@@ -93,6 +93,16 @@ struct BehaviorSet {
   }
   bool operator!=(const BehaviorSet &O) const { return !(*this == O); }
 
+  /// Behavior-level equality: the observable trace sets and the Exhausted
+  /// flag, counters excluded. Reduced exploration (--reduce=on) visits
+  /// fewer nodes than unreduced exploration of the same program, so the
+  /// two are compared with this; engines running the *same* configuration
+  /// are still held to full operator== (counters included).
+  bool sameBehaviors(const BehaviorSet &O) const {
+    return Exhausted == O.Exhausted && Done == O.Done && Abort == O.Abort &&
+           Prefixes == O.Prefixes && Blocked == O.Blocked;
+  }
+
   std::string str() const;
 };
 

@@ -8,10 +8,12 @@
 #include "explore/Canonical.h"
 #include "explore/ExploreNode.h"
 #include "explore/ParallelExplorer.h"
+#include "explore/Reduction.h"
 #include "nps/NPMachine.h"
 #include "support/Statistic.h"
 
 #include <deque>
+#include <optional>
 #include <unordered_set>
 
 namespace psopt {
@@ -31,11 +33,17 @@ using NodeHash = ExploreNodeHash;
 static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
   BehaviorSet B;
 
+  std::optional<Reducer> Red;
+  if (C.Reduce && M.supportsReduction())
+    Red.emplace(M);
+  ReducerScratch Scr;
+
   Node Start{*M.initial(), {}};
+  if (Red)
+    Red->project(Start.State);
   canonicalizeState(Start.State);
 
   std::unordered_set<Node, NodeHash> Visited;
-  std::unordered_set<std::size_t> StateHashes;
   std::deque<Node> Work;
   Work.push_back(std::move(Start));
 
@@ -58,50 +66,24 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
     }
     const Node &Cur = *It;
     ++NumExploreNodes;
-    StateHashes.insert(Cur.State.hash());
-    B.Prefixes.insert(Cur.Outs);
 
-    if (Cur.State.allTerminated()) {
-      B.Done.insert(Cur.Outs);
-      continue;
-    }
-
-    M.successors(Cur.State, Succs);
-    if (Succs.empty()) {
-      B.Blocked.insert(Cur.Outs);
-      continue;
-    }
-    for (MachineSuccessor &S : Succs) {
-      NumExploreTransitions += 1;
-      ++B.Transitions;
-      switch (S.Ev.K) {
-      case MachineEvent::Kind::Abort:
-        B.Abort.insert(Cur.Outs);
-        break;
-      case MachineEvent::Kind::Out: {
-        if (Cur.Outs.size() >= C.MaxOuts) {
-          // Trace bound: record the cutoff and move on to the *next*
-          // successor — sibling Tau/Abort successors are still explored.
-          B.Exhausted = false;
-          continue;
-        }
-        Node Child{std::move(S.State), Cur.Outs};
-        Child.Outs.push_back(S.Ev.OutVal);
-        canonicalizeState(Child.State);
-        Work.push_back(std::move(Child));
-        break;
-      }
-      case MachineEvent::Kind::Tau: {
-        Node Child{std::move(S.State), Cur.Outs};
-        canonicalizeState(Child.State);
-        Work.push_back(std::move(Child));
-        break;
-      }
-      }
-    }
+    bool OutBoundHit = false;
+    expandExploreNode(
+        M, Red ? &*Red : nullptr, Cur, C, Succs, Scr, B,
+        [&Work](Node &&Child) { Work.push_back(std::move(Child)); },
+        OutBoundHit);
+    if (OutBoundHit)
+      B.Exhausted = false;
   }
 
   B.NodesVisited = Visited.size();
+  // UniqueStates folds out of the visited table after the search (state
+  // hashes are memoized, so this pass is cheap) instead of costing a
+  // second hash-set probe on every node expansion.
+  std::unordered_set<std::size_t> StateHashes;
+  StateHashes.reserve(Visited.size());
+  for (const Node &N : Visited)
+    StateHashes.insert(N.State.hash());
   B.UniqueStates = StateHashes.size();
   return B;
 }

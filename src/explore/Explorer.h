@@ -43,6 +43,17 @@ struct ExploreConfig {
   /// identical BehaviorSet (asserted across the litmus registry and
   /// random programs in tests/explore/ParallelEquivalenceTest.cpp).
   unsigned Jobs = 1;
+
+  /// Equivalence-class schedule reduction (explore/Reduction.h): fuse
+  /// deterministic thread-local chains into single steps, collapse
+  /// terminated threads' unreadable state, and drop observationally
+  /// equal sibling successors. Behavior-preserving — the trace sets and
+  /// Exhausted agree with unreduced exploration (BehaviorSet::
+  /// sameBehaviors, swept in tests/explore/ReductionEquivalenceTest.cpp)
+  /// — but NodesVisited/UniqueStates/Transitions shrink. Applies only to
+  /// machines that opt in (Machine::supportsReduction; the interleaving
+  /// machine); engines at the same setting remain bit-identical.
+  bool Reduce = true;
 };
 
 /// Explores \p M exhaustively (within \p C) and returns its behaviors.

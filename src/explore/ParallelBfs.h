@@ -77,6 +77,16 @@ public:
     Stop.store(true, std::memory_order_relaxed);
   }
 
+  /// Visits every node in the visited table. Only meaningful after run()
+  /// returned (the pool has joined, so no locks are needed); the explorer
+  /// folds its UniqueStates accounting out of the table here instead of
+  /// paying a sharded-set probe per node during the search.
+  template <typename FnT> void forEachVisited(FnT &&Fn) const {
+    for (const VisitedShard &S : Shards)
+      for (const NodeT &N : S.Set)
+        Fn(N);
+  }
+
   /// Runs the search from \p Root. \p Visit is invoked exactly once per
   /// unique node, concurrently from up to Jobs workers, as
   ///   Visit(WorkerId, const NodeT &, Push)

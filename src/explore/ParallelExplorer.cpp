@@ -8,10 +8,12 @@
 #include "explore/Canonical.h"
 #include "explore/ExploreNode.h"
 #include "explore/ParallelBfs.h"
+#include "explore/Reduction.h"
 #include "support/Statistic.h"
 
 #include <atomic>
-#include <mutex>
+#include <optional>
+#include <unordered_set>
 
 namespace psopt {
 
@@ -27,14 +29,7 @@ struct alignas(64) PartialBehavior {
   std::set<Trace> Prefixes;
   std::uint64_t Transitions = 0;
   std::vector<MachineSuccessor> SuccBuf; // reused across expansions
-};
-
-/// Sharded set of canonical-state hashes (UniqueStates accounting).
-/// Sharded by the *high* bits of the state hash, so shard sizes sum to the
-/// global distinct count.
-struct alignas(64) StateHashShard {
-  std::mutex M;
-  std::unordered_set<std::size_t> Set;
+  ReducerScratch Scratch;                // reduction-layer buffers
 };
 
 } // namespace
@@ -47,72 +42,35 @@ BehaviorSet ParallelExplorer::run() const {
     return B;
   }
 
+  // One shared, immutable reduction context; workers bring their own
+  // scratch. Ample-set selection is a pure function of the state, so the
+  // reduced graph is schedule-independent and matches the sequential
+  // engine node-for-node.
+  std::optional<Reducer> Red;
+  if (C.Reduce && M->supportsReduction())
+    Red.emplace(*M);
+
   ExploreNode Start{*M->initial(), {}};
+  if (Red)
+    Red->project(Start.State);
   canonicalizeState(Start.State);
 
   const unsigned Jobs = C.Jobs < 1 ? 1 : C.Jobs;
   ParallelBfs<ExploreNode, ExploreNodeHash> Engine(Jobs, C.MaxNodes);
 
   std::vector<PartialBehavior> Partials(Jobs);
-  std::vector<StateHashShard> StateShards(parallelBfsShardCount(Jobs));
-  unsigned StateShardBits = 0;
-  for (std::size_t N = 1; N < StateShards.size(); N *= 2)
-    ++StateShardBits;
-  const unsigned StateShardShift = 8 * sizeof(std::size_t) - StateShardBits;
   std::atomic<bool> OutBoundHit{false};
 
   Statistic &NodeStat = detail::numExploreNodes();
-  Statistic &TransStat = detail::numExploreTransitions();
 
   auto Visit = [&](unsigned W, const ExploreNode &N, auto &&Push) {
     ++NodeStat;
     PartialBehavior &L = Partials[W];
-
-    std::size_t SH = N.State.hash();
-    {
-      StateHashShard &S = StateShards[SH >> StateShardShift];
-      std::lock_guard<std::mutex> Lock(S.M);
-      S.Set.insert(SH);
-    }
-    L.Prefixes.insert(N.Outs);
-
-    if (N.State.allTerminated()) {
-      L.Done.insert(N.Outs);
-      return;
-    }
-
-    std::vector<MachineSuccessor> &Succs = L.SuccBuf;
-    M->successors(N.State, Succs);
-    if (Succs.empty()) {
-      L.Blocked.insert(N.Outs);
-      return;
-    }
-    for (MachineSuccessor &S : Succs) {
-      TransStat += 1;
-      ++L.Transitions;
-      switch (S.Ev.K) {
-      case MachineEvent::Kind::Abort:
-        L.Abort.insert(N.Outs);
-        break;
-      case MachineEvent::Kind::Out: {
-        if (N.Outs.size() >= C.MaxOuts) {
-          OutBoundHit.store(true, std::memory_order_relaxed);
-          continue;
-        }
-        ExploreNode Child{std::move(S.State), N.Outs};
-        Child.Outs.push_back(S.Ev.OutVal);
-        canonicalizeState(Child.State);
-        Push(std::move(Child));
-        break;
-      }
-      case MachineEvent::Kind::Tau: {
-        ExploreNode Child{std::move(S.State), N.Outs};
-        canonicalizeState(Child.State);
-        Push(std::move(Child));
-        break;
-      }
-      }
-    }
+    bool OutHit = false;
+    expandExploreNode(*M, Red ? &*Red : nullptr, N, C, L.SuccBuf, L.Scratch,
+                      L, Push, OutHit);
+    if (OutHit)
+      OutBoundHit.store(true, std::memory_order_relaxed);
   };
 
   auto Stats = Engine.run(std::move(Start), Visit);
@@ -129,8 +87,14 @@ BehaviorSet ParallelExplorer::run() const {
   B.Exhausted =
       !Stats.NodeBoundHit && !OutBoundHit.load(std::memory_order_relaxed);
   B.NodesVisited = Stats.Expanded;
-  for (StateHashShard &S : StateShards)
-    B.UniqueStates += S.Set.size();
+  // UniqueStates folds out of the joined visited table (hashes are
+  // memoized) instead of paying a locked sharded-set probe per node
+  // during the search.
+  std::unordered_set<std::size_t> StateHashes;
+  StateHashes.reserve(Stats.Expanded);
+  Engine.forEachVisited(
+      [&StateHashes](const ExploreNode &N) { StateHashes.insert(N.State.hash()); });
+  B.UniqueStates = StateHashes.size();
   return B;
 }
 

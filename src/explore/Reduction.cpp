@@ -1,0 +1,162 @@
+//===- explore/Reduction.cpp - Equivalence-class schedule reduction ----------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Reduction.h"
+
+#include <algorithm>
+
+namespace psopt {
+
+static Statistic NumAmpleNodes("reduction", "ample_nodes",
+                               "nodes expanded through a fused chain");
+static Statistic NumFusedSteps("reduction", "fused_steps",
+                               "thread steps collapsed into fused chains");
+static Statistic NumSleepSkips("reduction", "sleep_skips",
+                               "sibling thread schedules pruned at ample nodes");
+static Statistic NumEquivHits("reduction", "equiv_hits",
+                              "successors dropped as observationally equal");
+
+namespace detail {
+Statistic &numReductionAmpleNodes() { return NumAmpleNodes; }
+Statistic &numReductionFusedSteps() { return NumFusedSteps; }
+Statistic &numReductionSleepSkips() { return NumSleepSkips; }
+Statistic &numReductionEquivHits() { return NumEquivHits; }
+} // namespace detail
+
+Reducer::Reducer(const Machine &M) : M(&M) {
+  const Program &P = M.program();
+  const std::vector<FuncId> &Threads = P.threads();
+  std::vector<std::set<VarId>> Footprints(Threads.size());
+  for (std::size_t T = 0; T < Threads.size(); ++T)
+    Footprints[T] = computeWriteFootprint(P, Threads[T]);
+  Facts.resize(Threads.size());
+  for (std::size_t T = 0; T < Threads.size(); ++T) {
+    for (std::size_t U = 0; U < Threads.size(); ++U)
+      if (U != T)
+        Facts[T].OthersWrite.insert(Footprints[U].begin(),
+                                    Footprints[U].end());
+    if (M.config().EnablePromises)
+      Facts[T].OwnPromisable = computePromiseDomain(P, Threads[T]).Vars;
+  }
+}
+
+bool Reducer::exclusiveRead(Tid T, VarId X) const {
+  const ThreadFacts &F = Facts[T];
+  if (F.OthersWrite.count(X))
+    return false;
+  // With promises on, T itself could promise on X and later read that
+  // promise; hoisting the read past the promise would prune that behavior.
+  if (F.OwnPromisable.count(X))
+    return false;
+  return true;
+}
+
+bool Reducer::selectFused(const MachineState &S, ReducerScratch &Scr,
+                          MachineSuccessor &Out) const {
+  const Program &P = M->program();
+  const Tid NumThreads = static_cast<Tid>(S.Threads.size());
+  for (Tid T = 0; T < NumThreads; ++T) {
+    const ThreadState &TS0 = S.Threads[T];
+    if (TS0.Local.isTerminated())
+      continue;
+    // An outstanding promise entangles T with certification at every peer
+    // state; only promise-free threads are candidates. (Reservations are
+    // fine: they are invisible to readable() and their reserve/cancel
+    // steps commute with the chain — they stay enabled at the fused node.)
+    if (S.Mem.hasConcretePromises(T))
+      continue;
+
+    // Walk T's maximal deterministic thread-local chain.
+    ThreadState Cur = TS0;
+    Scr.ChainLocals.clear();
+    Scr.ChainLocals.push_back(Cur.Local.hash());
+    unsigned Len = 0;
+    for (;;) {
+      Scr.Steps.clear();
+      enumerateProgramSteps(P, T, Cur, S.Mem, Scr.Steps);
+      if (Scr.Steps.size() != 1 || Scr.Steps[0].Abort)
+        break; // chain ends before a branch point / abort
+      ThreadSuccessor &Step = Scr.Steps[0];
+      bool ThreadLocal = false;
+      if (Step.Ev.K == ThreadEvent::Kind::Tau) {
+        // Skip/assign/terminator: touches neither memory nor the view.
+        ThreadLocal = true;
+      } else if (Step.Ev.K == ThreadEvent::Kind::Read &&
+                 exclusiveRead(T, Step.Ev.Var) && Step.TS.V == Cur.V) {
+        // A read of a location no peer can write, returning the thread's
+        // own latest observation (the view did not move): deterministic
+        // now and under any peer schedule, so it commutes like a tau.
+        ThreadLocal = true;
+      }
+      if (!ThreadLocal)
+        break;
+      Cur = std::move(Step.TS);
+      ++Len;
+      if (Cur.Local.isTerminated())
+        break; // chain ran the thread to completion
+      if (Len >= MaxChainLen) {
+        Len = 0; // counting loop too long to certify cycle-free: full expand
+        break;
+      }
+      std::size_t H = Cur.Local.hash();
+      if (std::find(Scr.ChainLocals.begin(), Scr.ChainLocals.end(), H) !=
+          Scr.ChainLocals.end()) {
+        // Local-state cycle: T can spin forever without its peers, so
+        // peer steps must not be postponed past it (ignoring problem).
+        // Hash collisions only make this test conservative.
+        Len = 0;
+        break;
+      }
+      Scr.ChainLocals.push_back(H);
+    }
+    if (Len == 0)
+      continue;
+
+    // Fuse: the chain becomes one tau-labeled machine step. Memory and
+    // every other thread are untouched; Cur/SwitchAllowed keep their fixed
+    // interleaving values. Per-step certification is vacuous throughout
+    // (T holds no promises), so skipping it loses nothing.
+    Out.State = S;
+    Out.State.Threads[T] = std::move(Cur);
+    Out.State.Threads[T].invalidateHash();
+    Out.State.invalidateHash();
+    Out.Ev = MachineEvent{};
+    Out.Ev.K = MachineEvent::Kind::Tau;
+    Out.Ev.Thread = T;
+    Out.Ev.ThreadEv = ThreadEvent::tau();
+
+    ++NumAmpleNodes;
+    NumFusedSteps += Len;
+    unsigned Live = 0;
+    for (const ThreadState &TS : S.Threads)
+      if (!TS.Local.isTerminated())
+        ++Live;
+    NumSleepSkips += Live - 1;
+    return true;
+  }
+  return false;
+}
+
+void Reducer::project(MachineState &S) const {
+  bool Changed = false;
+  for (ThreadState &TS : S.Threads) {
+    if (!TS.Local.isTerminated())
+      continue;
+    bool ThreadChanged = TS.Local.collapseTerminated();
+    if (!(TS.V == View{})) {
+      TS.V = View{};
+      ThreadChanged = true;
+    }
+    if (ThreadChanged) {
+      TS.invalidateHash();
+      Changed = true;
+    }
+  }
+  if (Changed)
+    S.invalidateHash();
+}
+
+} // namespace psopt

@@ -1,0 +1,240 @@
+//===- explore/Reduction.h - Equivalence-class schedule reduction -*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explorer's reduction layer (ExploreConfig::Reduce, default on): an
+/// ample-set scheduler that collapses commuting interleavings to a single
+/// representative order, plus an observational-equivalence filter over
+/// successor states. Both engines (sequential and parallel) expand nodes
+/// through the shared expandExploreNode below, so the reduced graph — and
+/// with it every BehaviorSet counter — is identical across engines by
+/// construction. Soundness argument in DESIGN.md §10; the reduced == un-
+/// reduced behavior sweep lives in tests/explore/ReductionEquivalenceTest.
+///
+/// Three cooperating mechanisms:
+///
+///  1. Fused thread-local chains (the ample set). At a state where some
+///     promise-free thread T's next step is its *unique*, non-aborting,
+///     thread-local successor (a tau — skip/assign/control — or a read of
+///     a location no other thread can write), only T is scheduled, and T's
+///     whole maximal deterministic chain of such steps is fused into one
+///     machine step. Selection is a pure function of the state (never of
+///     the visited set), so the reduction composes with parallel search.
+///     A chain that revisits a local state (a register-pure spin) is
+///     rejected — that thread can idle forever, so other threads' steps
+///     are not postponable past it (the classic ignoring problem; this
+///     state-local test replaces the cycle proviso, which would be
+///     schedule-dependent under a concurrent frontier).
+///
+///  2. Terminated-thread projection. A terminated thread's view, residual
+///     registers and control point are unreadable — no step relation ever
+///     consults them — so they are canonicalized away (view to bottom,
+///     LocalState::collapseTerminated), merging states that differ only
+///     in how a finished thread got there.
+///
+///  3. Sibling observational-equivalence filter. Distinct transitions out
+///     of one node frequently land on the same canonical (state, trace)
+///     node (e.g. two placements renamed alike); duplicates are dropped
+///     before they reach the work queue instead of at the global visited
+///     table, trimming queue pressure and cross-worker churn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_EXPLORE_REDUCTION_H
+#define PSOPT_EXPLORE_REDUCTION_H
+
+#include "explore/Canonical.h"
+#include "explore/ExploreNode.h"
+#include "explore/Explorer.h"
+#include "ps/Machine.h"
+#include "support/Statistic.h"
+
+#include <vector>
+
+namespace psopt {
+
+namespace detail {
+/// The reduction.* counters (defined in Reduction.cpp): fused chains,
+/// steps collapsed inside them, sibling threads skipped at ample nodes,
+/// and successors dropped by the observational-equivalence filter.
+Statistic &numReductionAmpleNodes();
+Statistic &numReductionFusedSteps();
+Statistic &numReductionSleepSkips();
+Statistic &numReductionEquivHits();
+} // namespace detail
+
+/// Per-worker scratch buffers for the reduction layer; reused across node
+/// expansions to keep the hot path allocation-free.
+struct ReducerScratch {
+  std::vector<ThreadSuccessor> Steps;   ///< chain-probe enumeration buffer
+  std::vector<std::size_t> ChainLocals; ///< local-state hashes along a chain
+  std::vector<ExploreNode> Children;    ///< buffered siblings for the OE filter
+  std::vector<std::size_t> ChildHashes; ///< their node hashes (prefilter)
+};
+
+/// One exploration's reduction context: static per-thread facts (write
+/// footprints, promise domains) consulted by the per-state ample-set
+/// selection. Immutable after construction — workers share one instance
+/// and pass their own ReducerScratch.
+class Reducer {
+public:
+  explicit Reducer(const Machine &M);
+
+  /// Ample-set selection: if some thread is fusible at \p S, writes the
+  /// fused macro-successor (the whole thread-local chain collapsed into a
+  /// single tau-labeled machine step) to \p Out and returns true. Pure in
+  /// \p S: both engines make the same choice at the same state.
+  bool selectFused(const MachineState &S, ReducerScratch &Scr,
+                   MachineSuccessor &Out) const;
+
+  /// Applies the terminated-thread observable projection to \p S in place.
+  /// Idempotent; called on every node state before canonicalization.
+  void project(MachineState &S) const;
+
+private:
+  /// Longest chain the fuser will walk before giving up on a thread; a
+  /// safety net against pathological register-counting loops (which the
+  /// local-cycle test cannot cut because every iteration is distinct).
+  static constexpr unsigned MaxChainLen = 4096;
+
+  struct ThreadFacts {
+    /// Union of every *other* thread's static write footprint: locations a
+    /// read by this thread can race with. A load outside this set is
+    /// thread-local for scheduling purposes.
+    std::set<VarId> OthersWrite;
+    /// This thread's own promise location domain. When promises are
+    /// enabled, a read of an own-promisable location is not fusible: the
+    /// pruned "promise first, then read own promise" order is observable.
+    std::set<VarId> OwnPromisable;
+  };
+
+  /// True when thread \p T's read of \p X commutes with every step any
+  /// peer (or T's own promise machinery) could take.
+  bool exclusiveRead(Tid T, VarId X) const;
+
+  const Machine *M;
+  std::vector<ThreadFacts> Facts; // indexed by thread id
+};
+
+/// Expands one explore node: classifies it (done/blocked), enumerates its
+/// (possibly reduced) successors, records trace bookkeeping into \p Sink
+/// and feeds new children to \p Push. Shared verbatim by the sequential
+/// engine and every parallel worker so the two produce bit-identical
+/// BehaviorSets — counters included — at the same Reduce setting.
+///
+/// \p Sink is BehaviorSet or the parallel engine's PartialBehavior: any
+/// type with Done/Abort/Blocked/Prefixes trace sets and a Transitions
+/// counter. \p Red is null for unreduced exploration, which keeps the
+/// legacy push-as-built expansion byte-for-byte. \p OutBoundHit is set
+/// (never cleared) when the MaxOuts trace bound cuts a successor.
+template <typename SinkT, typename PushT>
+void expandExploreNode(const Machine &M, const Reducer *Red,
+                       const ExploreNode &Cur, const ExploreConfig &C,
+                       std::vector<MachineSuccessor> &Succs,
+                       ReducerScratch &Scr, SinkT &Sink, PushT &&Push,
+                       bool &OutBoundHit) {
+  Sink.Prefixes.insert(Cur.Outs);
+
+  if (Cur.State.allTerminated()) {
+    Sink.Done.insert(Cur.Outs);
+    return;
+  }
+
+  bool Fused = false;
+  if (Red) {
+    Succs.clear();
+    Succs.resize(1);
+    Fused = Red->selectFused(Cur.State, Scr, Succs[0]);
+  }
+  if (!Fused)
+    M.successors(Cur.State, Succs);
+  if (Succs.empty()) {
+    // Never a reduction artifact: a fused successor always exists when
+    // selection succeeds, so emptiness means the full relation is empty.
+    Sink.Blocked.insert(Cur.Outs);
+    return;
+  }
+
+  if (!Red) {
+    // Legacy unreduced expansion: children go straight to the queue.
+    for (MachineSuccessor &S : Succs) {
+      detail::numExploreTransitions() += 1;
+      ++Sink.Transitions;
+      switch (S.Ev.K) {
+      case MachineEvent::Kind::Abort:
+        Sink.Abort.insert(Cur.Outs);
+        break;
+      case MachineEvent::Kind::Out: {
+        if (Cur.Outs.size() >= C.MaxOuts) {
+          OutBoundHit = true;
+          continue;
+        }
+        ExploreNode Child{std::move(S.State), Cur.Outs};
+        Child.Outs.push_back(S.Ev.OutVal);
+        canonicalizeState(Child.State);
+        Push(std::move(Child));
+        break;
+      }
+      case MachineEvent::Kind::Tau: {
+        ExploreNode Child{std::move(S.State), Cur.Outs};
+        canonicalizeState(Child.State);
+        Push(std::move(Child));
+        break;
+      }
+      }
+    }
+    return;
+  }
+
+  // Reduced expansion: buffer canonicalized children and drop siblings
+  // that collapse onto an already-admitted (state, trace) node.
+  Scr.Children.clear();
+  Scr.ChildHashes.clear();
+  for (MachineSuccessor &S : Succs) {
+    detail::numExploreTransitions() += 1;
+    ++Sink.Transitions;
+    switch (S.Ev.K) {
+    case MachineEvent::Kind::Abort:
+      Sink.Abort.insert(Cur.Outs);
+      continue;
+    case MachineEvent::Kind::Out:
+      if (Cur.Outs.size() >= C.MaxOuts) {
+        OutBoundHit = true;
+        continue;
+      }
+      break;
+    case MachineEvent::Kind::Tau:
+      break;
+    }
+    ExploreNode Child{std::move(S.State), Cur.Outs};
+    if (S.Ev.K == MachineEvent::Kind::Out)
+      Child.Outs.push_back(S.Ev.OutVal);
+    Red->project(Child.State);
+    canonicalizeState(Child.State);
+    std::size_t H = ExploreNodeHash{}(Child);
+    bool Duplicate = false;
+    for (std::size_t I = 0; I < Scr.Children.size(); ++I) {
+      if (Scr.ChildHashes[I] == H && Scr.Children[I] == Child) {
+        Duplicate = true;
+        break;
+      }
+    }
+    if (Duplicate) {
+      ++detail::numReductionEquivHits();
+      continue;
+    }
+    Scr.ChildHashes.push_back(H);
+    Scr.Children.push_back(std::move(Child));
+  }
+  for (ExploreNode &Child : Scr.Children)
+    Push(std::move(Child));
+  Scr.Children.clear();
+  Scr.ChildHashes.clear();
+}
+
+} // namespace psopt
+
+#endif // PSOPT_EXPLORE_REDUCTION_H

@@ -178,6 +178,7 @@ ReplayVerdict replayCorpusEntry(const CorpusEntry &E, const ReplayConfig &C) {
   SC.EnableCertCache = C.CertCache;
   ExploreConfig EC;
   EC.Jobs = C.Jobs;
+  EC.Reduce = C.Reduce;
   EC.MaxNodes = C.MaxNodes;
 
   BehaviorSet SrcB = exploreInterleaving(E.Prog, SC, EC);

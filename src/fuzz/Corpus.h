@@ -73,10 +73,11 @@ bool storeCorpusEntry(const CorpusEntry &E, const std::string &Path);
 std::vector<std::string> listCorpusFiles(const std::string &Dir);
 
 /// Engine configuration for a replay; the replay matrix in the tests runs
-/// every combination of Jobs x CertCache.
+/// every combination of Jobs x CertCache x Reduce.
 struct ReplayConfig {
   unsigned Jobs = 1;
   bool CertCache = true;
+  bool Reduce = true;
   std::uint64_t MaxNodes = 2'000'000;
 };
 

@@ -14,6 +14,7 @@
 #include "litmus/RandomProgram.h"
 #include "opt/Pass.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <random>
@@ -41,6 +42,8 @@ const char *FuzzFailure::kindName(Kind K) {
     return "parallel-divergence";
   case Kind::CertCacheDivergence:
     return "certcache-divergence";
+  case Kind::ReductionDivergence:
+    return "reduction-divergence";
   }
   return "?";
 }
@@ -325,21 +328,27 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
       continue;
     }
 
-    // 4. Differential engine cross-validation: the parallel explorer with
+    // 4. Differential engine cross-validation. The parallel explorer with
     // the certification cache disabled must reproduce the reference
     // BehaviorSet bit-identically; a mismatch is bisected to the guilty
-    // engine dimension.
+    // engine dimension. The fourth dimension is the schedule reduction:
+    // --reduce=off explores every interleaving and must reproduce the
+    // reduced reference's behavior sets (counters legitimately differ, so
+    // the comparison is sameBehaviors, not operator==).
     if (C.Differential) {
       StepConfig NoCache = O.SC;
       NoCache.EnableCertCache = false;
       ExploreConfig Par = O.Seq;
       Par.Jobs = C.Jobs;
+      ExploreConfig NoReduce = O.Seq;
+      NoReduce.Reduce = false;
       struct Side {
         const char *Name;
         const Program *Prog;
         const BehaviorSet *Ref;
       };
       const Side Sides[] = {{"source", &Src, &SrcB}, {"target", &Tgt, &TgtB}};
+      bool Diverged = false;
       for (const Side &S : Sides) {
         BehaviorSet Alt = exploreInterleaving(*S.Prog, NoCache, Par);
         if (Alt == *S.Ref)
@@ -360,6 +369,34 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
             std::string("BehaviorSet divergence on the ") + S.Name +
                 " program (jobs=" + std::to_string(C.Jobs) + ")",
             Diverges);
+        Report.Failures.push_back(std::move(F));
+        Diverged = true;
+        break;
+      }
+      for (const Side &S : Sides) {
+        if (Diverged)
+          break;
+        // The unreduced sweep only falsifies if it completes, and on
+        // programs where reduction wins big it never would — cap it at a
+        // multiple of the reduced graph and skip the comparison on a
+        // bound trip (a behavior prefix proves nothing either way).
+        NoReduce.MaxNodes = std::min<std::uint64_t>(
+            C.MaxNodes, 32 * S.Ref->NodesVisited + 4096);
+        BehaviorSet Unreduced = exploreInterleaving(*S.Prog, O.SC, NoReduce);
+        if (!Unreduced.Exhausted)
+          continue;
+        if (Unreduced.sameBehaviors(*S.Ref))
+          continue;
+        auto DivergesRed = [&](const Program &P) {
+          BehaviorSet A = exploreInterleaving(P, O.SC, O.Seq);
+          BehaviorSet B = exploreInterleaving(P, O.SC, NoReduce);
+          return A.Exhausted && B.Exhausted && !A.sameBehaviors(B);
+        };
+        FuzzFailure F = Report_(
+            FuzzFailure::Kind::ReductionDivergence,
+            std::string("behavior-set divergence on the ") + S.Name +
+                " program (reduce=on vs reduce=off)",
+            DivergesRed);
         Report.Failures.push_back(std::move(F));
         break;
       }

@@ -11,7 +11,9 @@
 /// that the target refines the source. Each run additionally cross-checks
 /// the exploration engines against each other — the parallel explorer
 /// (--jobs=N) and the certification cache must produce BehaviorSets
-/// bit-identical to the sequential cache-on engine, so any divergence in
+/// bit-identical to the sequential cache-on engine, and the schedule
+/// reduction (--reduce=off) must reproduce the same behavior sets
+/// (counters aside, BehaviorSet::sameBehaviors) — so any divergence in
 /// that machinery surfaces as a differential failure even when refinement
 /// holds.
 ///
@@ -43,7 +45,8 @@ struct FuzzConfig {
   std::uint64_t Seed = 1;   ///< base seed; run i uses fuzzRunSeed(Seed, i)
   unsigned Runs = 100;      ///< programs to generate
   unsigned Jobs = 1;        ///< worker count for the differential re-explore
-  bool Differential = true; ///< cross-validate parallel engine + cert cache
+  bool Differential = true; ///< cross-validate parallel engine, cert cache
+                            ///< and schedule reduction
   bool EnablePromises = false; ///< explore with promise steps (slower)
   bool Shrink = true;          ///< minimize failures before reporting
   unsigned TimeBudgetSec = 0;  ///< wall-clock cap; 0 = unlimited
@@ -66,6 +69,7 @@ struct FuzzFailure {
     RoundTrip,           ///< print -> parse does not reproduce the program
     ParallelDivergence,  ///< jobs=N BehaviorSet != sequential
     CertCacheDivergence, ///< cache-off BehaviorSet != cache-on
+    ReductionDivergence, ///< reduce-off behavior sets != reduce-on
   };
 
   Kind K = Kind::Refinement;

@@ -89,6 +89,20 @@ bool LocalState::applyTerminator(const Program &P) {
   PSOPT_UNREACHABLE("bad terminator kind");
 }
 
+bool LocalState::collapseTerminated() {
+  if (!Terminated)
+    return false;
+  bool Changed = !(Regs == RegFile{}) || CurBlock != 0 || InstrIdx != 0 ||
+                 !Stack.empty();
+  if (Changed) {
+    Regs = RegFile{};
+    CurBlock = 0;
+    InstrIdx = 0;
+    Stack.clear();
+  }
+  return Changed;
+}
+
 bool LocalState::operator==(const LocalState &O) const {
   return Terminated == O.Terminated && CurFunc == O.CurFunc &&
          CurBlock == O.CurBlock && InstrIdx == O.InstrIdx &&

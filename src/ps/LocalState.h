@@ -63,6 +63,14 @@ public:
   /// control error (missing block/function) — the thread aborts.
   bool applyTerminator(const Program &P);
 
+  /// Collapses a terminated state onto its canonical representative: the
+  /// residual registers, control point and call stack of a terminated
+  /// thread are unreadable (no step relation consults them), so states
+  /// differing only there are observationally equal. Returns true when
+  /// anything changed; no-op on live threads. Used by the explorer's
+  /// reduction layer (explore/Reduction.h).
+  bool collapseTerminated();
+
   bool operator==(const LocalState &O) const;
   std::size_t hash() const;
   std::string str() const;

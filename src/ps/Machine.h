@@ -101,6 +101,13 @@ public:
   /// Human-readable machine name for reports.
   virtual const char *name() const = 0;
 
+  /// True when the explorer's ample-set reduction (explore/Reduction.h) is
+  /// sound for this machine. Only the interleaving machine opts in: its
+  /// successor relation is schedule-closed (any thread may step anywhere),
+  /// which the reduction's commutation argument relies on. The NP machine
+  /// constrains scheduling itself and is always explored unreduced.
+  virtual bool supportsReduction() const { return false; }
+
 protected:
   /// Lifts thread \p T's enumerated successors into machine successors,
   /// applying the per-step consistency check. Promise/reserve steps are
@@ -128,6 +135,8 @@ public:
                   std::vector<MachineSuccessor> &Out) const override;
 
   const char *name() const override { return "interleaving"; }
+
+  bool supportsReduction() const override { return true; }
 };
 
 } // namespace psopt

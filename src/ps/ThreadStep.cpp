@@ -308,6 +308,50 @@ void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
   }
 }
 
+bool threadEventsConflict(const ThreadEvent &A, const ThreadEvent &B) {
+  auto Writes = [](const ThreadEvent &E) {
+    switch (E.K) {
+    case ThreadEvent::Kind::Write:
+    case ThreadEvent::Kind::Update:
+    case ThreadEvent::Kind::Promise:
+    case ThreadEvent::Kind::Reserve:
+    case ThreadEvent::Kind::Cancel:
+      return true;
+    default:
+      return false;
+    }
+  };
+  auto Touches = [&Writes](const ThreadEvent &E) {
+    return Writes(E) || E.K == ThreadEvent::Kind::Read;
+  };
+  if (!Touches(A) || !Touches(B))
+    return false; // tau/out are thread-local
+  if (A.Var != B.Var)
+    return false;
+  return Writes(A) || Writes(B);
+}
+
+std::set<VarId> computeWriteFootprint(const Program &P, FuncId F) {
+  std::set<VarId> Footprint;
+  std::set<FuncId> Seen;
+  std::vector<FuncId> Work{F};
+  while (!Work.empty()) {
+    FuncId Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second || !P.hasFunction(Cur))
+      continue;
+    for (const auto &[L, B] : P.function(Cur).blocks()) {
+      (void)L;
+      for (const Instr &I : B.instructions())
+        if (I.kind() == Instr::Kind::Store || I.kind() == Instr::Kind::Cas)
+          Footprint.insert(I.var());
+      if (B.terminator().isCall())
+        Work.push_back(B.terminator().callee());
+    }
+  }
+  return Footprint;
+}
+
 PromiseDomain computePromiseDomain(const Program &P, FuncId F) {
   PromiseDomain D;
   D.Values.insert(0);

@@ -56,6 +56,23 @@ void enumeratePrcSteps(const Program &P, Tid T, const ThreadState &TS,
 /// and store constants of every function reachable from \p F through calls.
 PromiseDomain computePromiseDomain(const Program &P, FuncId F);
 
+/// True when two thread events may conflict, i.e. executing them in either
+/// order is not guaranteed to commute: both touch the same location and at
+/// least one writes it. Read/read pairs on one location and accesses to
+/// different locations commute; tau and out never conflict with anything.
+/// Promise/reserve/cancel count as writes of their location (they edit the
+/// message pool there). This is the independence relation underlying the
+/// explorer's ample-set reduction (explore/Reduction.h).
+bool threadEventsConflict(const ThreadEvent &A, const ThreadEvent &B);
+
+/// The set of locations thread entry \p F may ever write — store and CAS
+/// targets of every function reachable from \p F through calls. Promises
+/// are covered too: a thread's promise domain is a subset of its na/rlx
+/// store targets. The reduction layer uses these static footprints to
+/// prove loads exclusive (no other thread can write the location, so
+/// delaying or hoisting the read commutes with every peer step).
+std::set<VarId> computeWriteFootprint(const Program &P, FuncId F);
+
 } // namespace psopt
 
 #endif // PSOPT_PS_THREADSTEP_H

@@ -27,7 +27,10 @@
 //       --replay re-checks a directory of stored reproducers instead
 //
 // explore/race/refine/equiv additionally accept --cert-cache=on|off
-// (default on): memoize certification verdicts across machine steps.
+// (default on): memoize certification verdicts across machine steps, and
+// --reduce=on|off (default on): equivalence-class schedule reduction in
+// the explorer (behavior-identical; see DESIGN.md section 10). --stats
+// prints the internal statistic counters after any command.
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +46,7 @@
 #include "opt/Pass.h"
 #include "race/RWRace.h"
 #include "race/WWRace.h"
+#include "support/Statistic.h"
 
 #include <cstdio>
 #include <cstring>
@@ -61,6 +65,8 @@ struct Options {
   bool NoPromises = false;
   bool RwRace = false;
   bool CertCacheOn = true;
+  bool ReduceOn = true;
+  bool Stats = false;
   std::uint64_t MaxNodes = 2'000'000;
   bool MaxNodesSet = false;
   unsigned Jobs = 1;
@@ -84,13 +90,14 @@ int usage() {
       stderr,
       "usage: psopt <command> [args]\n"
       "  explore  <file> [--np] [--no-promises] [--max-nodes=N] [--jobs=N]\n"
-      "           [--cert-cache=on|off]\n"
+      "           [--cert-cache=on|off] [--reduce=on|off]\n"
       "  race     <file> [--np] [--rw] [--no-promises] [--jobs=N]\n"
       "           [--cert-cache=on|off]\n"
       "  optimize <file> --passes=constprop,dce,cse,licm,simplifycfg\n"
       "  refine   <target> <source> [--no-promises] [--jobs=N]\n"
-      "           [--cert-cache=on|off]\n"
+      "           [--cert-cache=on|off] [--reduce=on|off]\n"
       "  equiv    <file> [--no-promises] [--jobs=N] [--cert-cache=on|off]\n"
+      "           [--reduce=on|off]\n"
       "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
       "  litmus   [name]\n"
       "  fuzz     [--seed=N] [--runs=N] [--jobs=N] [--passes=p1,p2,...]\n"
@@ -99,6 +106,9 @@ int usage() {
       "--jobs=N explores with N worker threads (identical BehaviorSet).\n"
       "--cert-cache memoizes certification verdicts across machine steps\n"
       "(default on; behavior-identical to off, see DESIGN.md section 8).\n"
+      "--reduce fuses commuting thread-local schedules in the explorer\n"
+      "(default on; behavior-identical to off, see DESIGN.md section 10).\n"
+      "--stats prints the internal statistic counters after any command.\n"
       "fuzz generates seeded random programs, runs a (random) verified-pass\n"
       "pipeline, and checks target-refines-source against the exploration\n"
       "oracle, cross-validating --jobs and the cert cache; failures are\n"
@@ -122,6 +132,12 @@ bool parseArgs(int argc, char **argv, Options &O) {
       O.CertCacheOn = true;
     else if (A == "--cert-cache=off")
       O.CertCacheOn = false;
+    else if (A == "--reduce=on")
+      O.ReduceOn = true;
+    else if (A == "--reduce=off")
+      O.ReduceOn = false;
+    else if (A == "--stats")
+      O.Stats = true;
     else if (A.rfind("--max-nodes=", 0) == 0) {
       O.MaxNodes = std::stoull(A.substr(12));
       O.MaxNodesSet = true;
@@ -190,6 +206,7 @@ ExploreConfig exploreConfig(const Options &O) {
   ExploreConfig EC;
   EC.MaxNodes = O.MaxNodes;
   EC.Jobs = O.Jobs;
+  EC.Reduce = O.ReduceOn;
   return EC;
 }
 
@@ -369,6 +386,7 @@ int cmdFuzzReplay(const Options &O) {
   ReplayConfig RC;
   RC.Jobs = O.Jobs;
   RC.CertCache = O.CertCacheOn;
+  RC.Reduce = O.ReduceOn;
   RC.MaxNodes = O.MaxNodes;
   unsigned Bad = 0;
   for (const std::string &File : Files) {
@@ -388,9 +406,10 @@ int cmdFuzzReplay(const Options &O) {
     if (!V.Match)
       ++Bad;
   }
-  std::printf("replayed %zu reproducers (jobs=%u cert-cache=%s): "
+  std::printf("replayed %zu reproducers (jobs=%u cert-cache=%s reduce=%s): "
               "%u mismatches\n",
-              Files.size(), O.Jobs, O.CertCacheOn ? "on" : "off", Bad);
+              Files.size(), O.Jobs, O.CertCacheOn ? "on" : "off",
+              O.ReduceOn ? "on" : "off", Bad);
   return Bad ? 1 : 0;
 }
 
@@ -429,21 +448,26 @@ int main(int argc, char **argv) {
   if (!parseArgs(argc, argv, O))
     return usage();
   std::string Cmd = argv[1];
+  int Ret;
   if (Cmd == "explore")
-    return cmdExplore(O);
-  if (Cmd == "race")
-    return cmdRace(O);
-  if (Cmd == "optimize")
-    return cmdOptimize(O);
-  if (Cmd == "refine")
-    return cmdRefine(O);
-  if (Cmd == "equiv")
-    return cmdEquiv(O);
-  if (Cmd == "witness")
-    return cmdWitness(O);
-  if (Cmd == "litmus")
-    return cmdLitmus(O);
-  if (Cmd == "fuzz")
-    return cmdFuzz(O);
-  return usage();
+    Ret = cmdExplore(O);
+  else if (Cmd == "race")
+    Ret = cmdRace(O);
+  else if (Cmd == "optimize")
+    Ret = cmdOptimize(O);
+  else if (Cmd == "refine")
+    Ret = cmdRefine(O);
+  else if (Cmd == "equiv")
+    Ret = cmdEquiv(O);
+  else if (Cmd == "witness")
+    Ret = cmdWitness(O);
+  else if (Cmd == "litmus")
+    Ret = cmdLitmus(O);
+  else if (Cmd == "fuzz")
+    Ret = cmdFuzz(O);
+  else
+    return usage();
+  if (O.Stats)
+    std::printf("%s", formatStatistics().c_str());
+  return Ret;
 }
