@@ -18,8 +18,17 @@ void canonicalizeState(MachineState &S) {
 
   R.freeze();
 
+  // Successors of a canonical parent are usually still canonical (reads,
+  // view joins, and gap-free appends introduce no non-integer timestamps),
+  // so the renaming is the identity and the whole rewrite — and every hash
+  // memo it would invalidate — is skipped.
+  if (R.isIdentity())
+    return;
+
   R.rewriteMemory(S.Mem);
   for (ThreadState &TS : S.Threads) {
+    if (!R.changesView(TS.V))
+      continue;
     TS.V = R.mapView(TS.V);
     TS.invalidateHash();
   }

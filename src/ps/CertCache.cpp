@@ -38,9 +38,21 @@ CertCacheKey makeCertCacheKey(Tid T, const ThreadState &TS,
   // only ever asks "is this message mine?" (promisesOf / hasConcretePromises
   // / hasPromiseOn filter on Owner == T; other owners' promise flags are
   // never read), so T maps to 0 and every other owner is erased.
-  for (auto &[X, Ms] : K.Mem.storage()) {
-    (void)X;
-    for (Message &M : Ms) {
+  const std::vector<Memory::Loc> &Locs = K.Mem.storage();
+  for (std::size_t I = 0; I < Locs.size(); ++I) {
+    // Change scan first: a list with no owned/promise messages keeps its
+    // (COW-shared) storage and memoized hashes.
+    const MessageList &Ms = Locs[I].messages();
+    bool Changed = false;
+    for (const Message &M : Ms) {
+      if (M.Owner != NoTid || M.IsPromise) {
+        Changed = true;
+        break;
+      }
+    }
+    if (!Changed)
+      continue;
+    for (Message &M : K.Mem.mutableListAt(I)) {
       if (M.Owner == T) {
         M.Owner = 0;
       } else if (M.Owner != NoTid || M.IsPromise) {

@@ -12,32 +12,55 @@
 
 namespace psopt {
 
+namespace {
+
+/// Position of \p X in a Var-sorted location vector (insertion point if
+/// absent).
+std::vector<Memory::Loc>::const_iterator
+locLowerBound(const std::vector<Memory::Loc> &Locs, VarId X) {
+  return std::lower_bound(
+      Locs.begin(), Locs.end(), X,
+      [](const Memory::Loc &L, VarId V) { return L.var() < V; });
+}
+
+} // namespace
+
 Memory Memory::initial(const std::set<VarId> &Vars) {
   Memory M;
+  M.Locs.reserve(Vars.size());
+  // std::set iterates in VarId order, so Locs comes out sorted.
   for (VarId X : Vars)
-    M.Locs[X].push_back(Message::concrete(X, 0, Time(0), Time(0), View{}));
+    M.Locs.push_back(Loc{
+        X, std::make_shared<MessageList>(MessageList{
+               Message::concrete(X, 0, Time(0), Time(0), View{})})});
   return M;
 }
 
-const std::vector<Message> &Memory::messages(VarId X) const {
-  static const std::vector<Message> Empty;
-  auto It = Locs.find(X);
-  return It == Locs.end() ? Empty : It->second;
+const MessageList &Memory::messages(VarId X) const {
+  static const MessageList Empty;
+  auto It = locLowerBound(Locs, X);
+  return It == Locs.end() || It->Var != X ? Empty : *It->List;
 }
 
-std::vector<VarId> Memory::locations() const {
-  std::vector<VarId> Out;
-  Out.reserve(Locs.size());
-  for (const auto &[X, Ms] : Locs)
-    Out.push_back(X);
-  return Out;
-}
-
-std::vector<Message> &Memory::list(VarId X) {
-  // Every mutator reaches its location list through here, so this is the
-  // single choke point that drops the memoized whole-memory hash.
+MessageList &Memory::list(VarId X) {
+  // Every named-location mutator reaches its list through here: the
+  // copy-on-write choke point. Drops the memoized whole-memory hash, and
+  // clones the list when it is shared with another Memory value.
   HashCache.invalidate();
-  return Locs[X];
+  auto It = Locs.begin() + (locLowerBound(Locs, X) - Locs.begin());
+  if (It == Locs.end() || It->Var != X)
+    It = Locs.insert(It, Loc{X, std::make_shared<MessageList>()});
+  else if (It->List.use_count() != 1)
+    It->List = std::make_shared<MessageList>(*It->List);
+  return *It->List;
+}
+
+MessageList &Memory::mutableListAt(std::size_t I) {
+  HashCache.invalidate();
+  Loc &L = Locs[I];
+  if (L.List.use_count() != 1)
+    L.List = std::make_shared<MessageList>(*L.List);
+  return *L.List;
 }
 
 const Message *Memory::findConcrete(VarId X, const Time &To) const {
@@ -53,7 +76,7 @@ const Message *Memory::find(VarId X, const Time &To) const {
 }
 
 void Memory::insert(const Message &M) {
-  std::vector<Message> &Ms = list(M.Var);
+  MessageList &Ms = list(M.Var);
   // Find the first message with To >= M.To; M goes before it.
   auto It = std::find_if(Ms.begin(), Ms.end(),
                          [&](const Message &O) { return O.To >= M.To; });
@@ -74,7 +97,7 @@ void Memory::insert(const Message &M) {
 }
 
 void Memory::removeReservation(VarId X, const Time &To) {
-  std::vector<Message> &Ms = list(X);
+  MessageList &Ms = list(X);
   auto It = std::find_if(Ms.begin(), Ms.end(), [&](const Message &M) {
     return M.To == To && M.isReservation();
   });
@@ -83,7 +106,7 @@ void Memory::removeReservation(VarId X, const Time &To) {
 }
 
 void Memory::fulfillPromise(VarId X, const Time &To, const View &NewView) {
-  std::vector<Message> &Ms = list(X);
+  MessageList &Ms = list(X);
   auto It = std::find_if(Ms.begin(), Ms.end(), [&](const Message &M) {
     return M.To == To && M.isConcrete() && M.IsPromise;
   });
@@ -95,7 +118,7 @@ void Memory::fulfillPromise(VarId X, const Time &To, const View &NewView) {
 }
 
 void Memory::erase(VarId X, const Time &To) {
-  std::vector<Message> &Ms = list(X);
+  MessageList &Ms = list(X);
   auto It = std::find_if(Ms.begin(), Ms.end(),
                          [&](const Message &M) { return M.To == To; });
   PSOPT_CHECK(It != Ms.end(), "erasing a missing message");
@@ -105,7 +128,7 @@ void Memory::erase(VarId X, const Time &To) {
 std::vector<Placement> Memory::enumeratePlacements(VarId X,
                                                    const Time &MinTo) const {
   std::vector<Placement> Out;
-  const std::vector<Message> &Ms = messages(X);
+  const MessageList &Ms = messages(X);
   PSOPT_CHECK(!Ms.empty(), "placement on unknown location");
 
   // Gaps between adjacent messages. The placement's To must be > MinTo, so
@@ -133,7 +156,7 @@ std::vector<Placement> Memory::enumeratePlacements(VarId X,
 
 std::optional<Placement> Memory::casPlacement(VarId X,
                                               const Time &ReadTo) const {
-  const std::vector<Message> &Ms = messages(X);
+  const MessageList &Ms = messages(X);
   for (std::size_t I = 0; I < Ms.size(); ++I) {
     if (Ms[I].To != ReadTo)
       continue;
@@ -158,16 +181,16 @@ std::vector<const Message *> Memory::readable(VarId X,
 
 std::vector<const Message *> Memory::promisesOf(Tid T) const {
   std::vector<const Message *> Out;
-  for (const auto &[X, Ms] : Locs)
-    for (const Message &M : Ms)
+  for (const Loc &L : Locs)
+    for (const Message &M : L.messages())
       if (M.Owner == T && (M.isReservation() || M.IsPromise))
         Out.push_back(&M);
   return Out;
 }
 
 bool Memory::hasConcretePromises(Tid T) const {
-  for (const auto &[X, Ms] : Locs)
-    for (const Message &M : Ms)
+  for (const Loc &L : Locs)
+    for (const Message &M : L.messages())
       if (M.Owner == T && M.isConcrete() && M.IsPromise)
         return true;
   return false;
@@ -183,31 +206,51 @@ bool Memory::hasPromiseOn(Tid T, VarId X) const {
 Memory Memory::capped(Tid /*ForThread*/) const {
   // Ownership survives the copy, so the certified thread keeps its own
   // promises and reservations; the added gap/cap reservations are unowned
-  // and can be neither cancelled nor written into.
-  Memory Out = *this;
-  for (auto &[X, Ms] : Out.Locs) {
-    std::vector<Message> Filled;
+  // and can be neither cancelled nor written into. Every list gains at
+  // least the cap, so each location gets a fresh (unshared) list.
+  Memory Out;
+  Out.Locs.reserve(Locs.size());
+  for (const Loc &L : Locs) {
+    const MessageList &Ms = L.messages();
+    MessageList Filled;
     Filled.reserve(Ms.size() * 2 + 1);
     for (std::size_t I = 0; I < Ms.size(); ++I) {
       Filled.push_back(Ms[I]);
       if (I + 1 < Ms.size() && Ms[I].To < Ms[I + 1].From)
         Filled.push_back(
-            Message::reservation(X, Ms[I].To, Ms[I + 1].From, NoTid));
+            Message::reservation(L.var(), Ms[I].To, Ms[I + 1].From, NoTid));
     }
     const Time Last = Filled.back().To;
-    Filled.push_back(Message::reservation(X, Last, Last + Time(1), NoTid));
-    Ms = std::move(Filled);
+    Filled.push_back(
+        Message::reservation(L.var(), Last, Last + Time(1), NoTid));
+    Out.Locs.push_back(
+        Loc{L.var(), std::make_shared<MessageList>(std::move(Filled))});
   }
-  Out.HashCache.invalidate(); // Out copied *this's memo, then gained messages.
   return Out;
+}
+
+bool Memory::operator==(const Memory &O) const {
+  if (Locs.size() != O.Locs.size())
+    return false;
+  for (std::size_t I = 0; I < Locs.size(); ++I) {
+    const Loc &A = Locs[I], &B = O.Locs[I];
+    if (A.Var != B.Var)
+      return false;
+    // COW-shared lists compare equal by pointer identity alone.
+    if (A.List == B.List)
+      continue;
+    if (!(*A.List == *B.List))
+      return false;
+  }
+  return true;
 }
 
 std::size_t Memory::hash() const {
   return memoizedHash(HashCache, [this] {
     std::size_t Seed = 0;
-    for (const auto &[X, Ms] : Locs) {
-      hashCombineValue(Seed, X.raw());
-      for (const Message &M : Ms)
+    for (const Loc &L : Locs) {
+      hashCombineValue(Seed, L.var().raw());
+      for (const Message &M : L.messages())
         hashCombine(Seed, M.hash());
     }
     return hashFinalize(Seed);
@@ -216,9 +259,9 @@ std::size_t Memory::hash() const {
 
 std::string Memory::str() const {
   std::string Out;
-  for (const auto &[X, Ms] : Locs) {
-    Out += X.str() + ":";
-    for (const Message &M : Ms)
+  for (const Loc &L : Locs) {
+    Out += L.var().str() + ":";
+    for (const Message &M : L.messages())
       Out += " " + M.str();
     Out += "\n";
   }

@@ -14,7 +14,13 @@
 ///  * the *capped memory* M̂ used by promise certification (§3): all gaps
 ///    filled with unowned reservations plus a cap reservation per location.
 ///
-/// Memory is a value type: machine states copy it freely.
+/// Memory is a value type: machine states copy it freely. Copies are cheap
+/// (DESIGN.md §11): each location's message list lives behind a shared_ptr,
+/// so a copy is one small vector of (VarId, refcount-bump) pairs and the
+/// lists themselves are shared until a mutator touches one. Every mutation
+/// funnels through the copy-on-write choke points list()/mutableListAt(),
+/// which clone a shared list before writing and drop the memoized
+/// whole-memory hash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +30,7 @@
 #include "ps/Message.h"
 #include "support/Hashing.h"
 
-#include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -37,20 +43,40 @@ struct Placement {
   Time To;
 };
 
+/// The sorted, timestamp-disjoint messages of one location.
+using MessageList = std::vector<Message>;
+
 /// The global memory.
 class Memory {
 public:
+  /// One location: the variable plus its (possibly shared) message list.
+  /// Read-only from outside Memory; mutation goes through the COW choke
+  /// points so sharing stays invisible to clients.
+  class Loc {
+  public:
+    VarId var() const { return Var; }
+    const MessageList &messages() const { return *List; }
+
+    /// True when this location shares its message list with \p O — the
+    /// visited-set probe's pointer-identity fast path.
+    bool sharesListWith(const Loc &O) const { return List == O.List; }
+
+  private:
+    friend class Memory;
+    Loc(VarId X, std::shared_ptr<MessageList> L)
+        : Var(X), List(std::move(L)) {}
+
+    VarId Var;
+    std::shared_ptr<MessageList> List;
+  };
+
   Memory() = default;
 
   /// Creates a memory with initial messages for every variable in \p Vars.
   static Memory initial(const std::set<VarId> &Vars);
 
   /// Sorted messages at location \p X (empty vector if unknown).
-  const std::vector<Message> &messages(VarId X) const;
-
-  /// All locations with at least one message, as a freshly allocated
-  /// vector. Diagnostics only — hot loops iterate storage() directly.
-  std::vector<VarId> locations() const;
+  const MessageList &messages(VarId X) const;
 
   /// Finds the concrete message at (\p X, to = \p To); null if absent.
   const Message *findConcrete(VarId X, const Time &To) const;
@@ -111,28 +137,27 @@ public:
   /// per location. \p ForThread's own messages keep their ownership.
   Memory capped(Tid ForThread) const;
 
-  bool operator==(const Memory &O) const { return Locs == O.Locs; }
+  bool operator==(const Memory &O) const;
 
-  /// Memoized whole-memory hash (invalidated by every mutator, including
-  /// the non-const storage() accessor).
+  /// Memoized whole-memory hash (invalidated by every mutator).
   std::size_t hash() const;
   std::string str() const;
 
-  /// Internal sorted storage, exposed for the canonicalizer. The non-const
-  /// overload conservatively assumes the caller mutates and drops the
-  /// memoized hash; callers that rewrite individual messages must also
-  /// invalidate those (Message::invalidateHash).
-  std::map<VarId, std::vector<Message>> &storage() {
-    HashCache.invalidate();
-    return Locs;
-  }
-  const std::map<VarId, std::vector<Message>> &storage() const { return Locs; }
+  /// Internal sorted per-location storage, for read-only iteration.
+  const std::vector<Loc> &storage() const { return Locs; }
+
+  /// Copy-on-write mutable access to the message list at storage() index
+  /// \p I: clones the list if it is shared and drops the whole-memory hash
+  /// memo. Callers that rewrite individual messages must also invalidate
+  /// those (Message::invalidateHash).
+  MessageList &mutableListAt(std::size_t I);
 
 private:
-  std::vector<Message> &list(VarId X);
+  MessageList &list(VarId X);
 
-  // Sorted by To (intervals are disjoint, so this equals sorting by From).
-  std::map<VarId, std::vector<Message>> Locs;
+  // Sorted by Var. Within a list, messages are sorted by To (intervals are
+  // disjoint, so this equals sorting by From).
+  std::vector<Loc> Locs;
   HashMemo HashCache;
 };
 

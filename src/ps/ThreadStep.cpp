@@ -282,8 +282,8 @@ void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
   }
 
   if (C.EnableReservations && Reservations < C.MaxOutstandingReservations) {
-    for (const auto &[X, Ms] : M.storage()) {
-      (void)Ms;
+    for (const Memory::Loc &L : M.storage()) {
+      VarId X = L.var();
       for (const Placement &Pl : M.enumeratePlacements(X, TS.V.rlxAt(X))) {
         ThreadSuccessor S;
         S.Ev = ThreadEvent::reserve(X);

@@ -9,9 +9,8 @@
 namespace psopt {
 
 void TimeRenamer::noteMemory(const Memory &M) {
-  for (const auto &[X, Ms] : M.storage()) {
-    (void)X;
-    for (const Message &Msg : Ms) {
+  for (const Memory::Loc &L : M.storage()) {
+    for (const Message &Msg : L.messages()) {
       note(Msg.From);
       note(Msg.To);
       noteView(Msg.MsgView);
@@ -20,19 +19,38 @@ void TimeRenamer::noteMemory(const Memory &M) {
 }
 
 void TimeRenamer::freeze() {
-  std::int64_t Next = 0;
-  for (auto &[Old, New] : Table) {
-    (void)Old;
-    New = Time(Next++);
+  std::sort(Table.begin(), Table.end());
+  Table.erase(std::unique(Table.begin(), Table.end()), Table.end());
+  Identity = true;
+  for (std::size_t I = 0; I < Table.size(); ++I) {
+    if (Table[I] != Time(static_cast<std::int64_t>(I))) {
+      Identity = false;
+      break;
+    }
   }
 }
 
 void TimeRenamer::rewriteMemory(Memory &M) const {
-  // storage() (non-const) drops the whole-memory memo; each rewritten
-  // message additionally drops its own.
-  for (auto &[X, Ms] : M.storage()) {
-    (void)X;
-    for (Message &Msg : Ms) {
+  if (Identity)
+    return;
+  const std::vector<Memory::Loc> &Locs = M.storage();
+  for (std::size_t I = 0; I < Locs.size(); ++I) {
+    // Change scan first: an untouched list keeps its shared storage and
+    // every memoized message hash.
+    const MessageList &Ms = Locs[I].messages();
+    bool Changed = false;
+    for (const Message &Msg : Ms) {
+      if (map(Msg.From) != Msg.From || map(Msg.To) != Msg.To ||
+          changesView(Msg.MsgView)) {
+        Changed = true;
+        break;
+      }
+    }
+    if (!Changed)
+      continue;
+    // mutableListAt drops the whole-memory memo (and un-shares the list);
+    // each rewritten message additionally drops its own.
+    for (Message &Msg : M.mutableListAt(I)) {
       Msg.From = map(Msg.From);
       Msg.To = map(Msg.To);
       Msg.MsgView = mapView(Msg.MsgView);

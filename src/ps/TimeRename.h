@@ -15,6 +15,13 @@
 /// additionally keeps rationals small and makes order-isomorphic states
 /// bit-identical.
 ///
+/// The table is a flat sorted vector; freeze() additionally detects the
+/// *identity* renaming (the noted set is already exactly 0..n-1). States
+/// derived from a canonical parent by reads, joins, and gap-free appends
+/// stay canonical, so on the explorer's hot path the renaming is usually
+/// the identity and the rewrite pass — along with every hash memo it would
+/// invalidate — can be skipped wholesale (DESIGN.md §11).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSOPT_PS_TIMERENAME_H
@@ -23,7 +30,8 @@
 #include "ps/Memory.h"
 #include "ps/View.h"
 
-#include <map>
+#include <algorithm>
+#include <vector>
 
 namespace psopt {
 
@@ -31,7 +39,7 @@ namespace psopt {
 /// rewrites in a second pass.
 class TimeRenamer {
 public:
-  void note(const Time &T) { Table.emplace(T, Time(0)); }
+  void note(const Time &T) { Table.push_back(T); }
 
   void noteTimeMap(const TimeMap &TM) {
     for (const auto &[X, T] : TM.entries())
@@ -46,24 +54,48 @@ public:
   /// Notes every interval endpoint and message-view timestamp in \p M.
   void noteMemory(const Memory &M);
 
-  /// Assigns consecutive integers 0, 1, 2, ... to the noted timestamps in
-  /// increasing order. Must be called between the note and map passes.
+  /// Sorts and dedups the noted timestamps and assigns them consecutive
+  /// integers 0, 1, 2, ... in increasing order. Must be called between the
+  /// note and map passes.
   void freeze();
 
+  /// True when the frozen renaming maps every noted timestamp to itself.
+  /// Callers then skip the rewrite pass entirely, preserving every memoized
+  /// hash in the structure.
+  bool isIdentity() const { return Identity; }
+
   Time map(const Time &T) const {
-    auto It = Table.find(T);
-    // Every timestamp in the structure was noted in pass one.
-    return It->second;
+    // Every timestamp in the structure was noted in pass one, so T is
+    // present and lower_bound lands exactly on it; its index is its new
+    // value.
+    auto It = std::lower_bound(Table.begin(), Table.end(), T);
+    return Time(static_cast<std::int64_t>(It - Table.begin()));
   }
 
   TimeMap mapTimeMap(const TimeMap &TM) const {
+    if (Identity)
+      return TM;
     TimeMap Out;
     for (const auto &[X, T] : TM.entries())
       Out.set(X, map(T));
     return Out;
   }
 
+  /// True when mapping would change some entry of \p TM / \p V (used to
+  /// leave untouched structures — and their hash memos — alone).
+  bool changesTimeMap(const TimeMap &TM) const {
+    for (const auto &[X, T] : TM.entries())
+      if (map(T) != T)
+        return true;
+    return false;
+  }
+  bool changesView(const View &V) const {
+    return changesTimeMap(V.na()) || changesTimeMap(V.rlx());
+  }
+
   View mapView(const View &V) const {
+    if (Identity || !changesView(V))
+      return V; // Copy keeps the memoized hash.
     View Out;
     Out.setNa(mapTimeMap(V.na()));
     Out.setRlx(mapTimeMap(V.rlx()));
@@ -71,11 +103,16 @@ public:
   }
 
   /// Rewrites every message interval and message view of \p M in place,
-  /// invalidating the per-message and whole-memory hash memos.
+  /// invalidating the per-message and whole-memory hash memos. Location
+  /// lists the renaming leaves unchanged are skipped, so their (possibly
+  /// COW-shared) storage and memos survive.
   void rewriteMemory(Memory &M) const;
 
 private:
-  std::map<Time, Time> Table;
+  // Noted timestamps; sorted and deduped by freeze(). A noted timestamp's
+  // index is its renamed value.
+  std::vector<Time> Table;
+  bool Identity = false;
 };
 
 } // namespace psopt

@@ -9,10 +9,69 @@
 
 namespace psopt {
 
+void TimeMap::join(const TimeMap &O) {
+  if (O.Entries.empty())
+    return;
+  if (Entries.empty()) {
+    Entries = O.Entries;
+    return;
+  }
+
+  // Fast path: every key of O already bound here — take maxima in place.
+  {
+    auto A = Entries.begin();
+    bool Subset = true;
+    for (const Entry &E : O.Entries) {
+      while (A != Entries.end() && A->Var < E.Var)
+        ++A;
+      if (A == Entries.end() || E.Var < A->Var) {
+        Subset = false;
+        break;
+      }
+    }
+    if (Subset) {
+      auto B = Entries.begin();
+      for (const Entry &E : O.Entries) {
+        while (B->Var < E.Var)
+          ++B;
+        if (E.T > B->T)
+          B->T = E.T;
+      }
+      return;
+    }
+  }
+
+  // General case: linear merge into a fresh list.
+  EntryList Out;
+  Out.reserve(Entries.size() + O.Entries.size());
+  auto A = Entries.begin(), AE = Entries.end();
+  auto B = O.Entries.begin(), BE = O.Entries.end();
+  while (A != AE && B != BE) {
+    if (A->Var < B->Var)
+      Out.push_back(*A++);
+    else if (B->Var < A->Var)
+      Out.push_back(*B++);
+    else {
+      Out.push_back(Entry{A->Var, std::max(A->T, B->T)});
+      ++A;
+      ++B;
+    }
+  }
+  Out.insert(Out.end(), A, AE);
+  Out.insert(Out.end(), B, BE);
+  Entries = std::move(Out);
+}
+
 bool TimeMap::leq(const TimeMap &O) const {
-  for (const auto &[X, T] : Entries)
-    if (T > O.get(X))
+  // Entries hold no zeros, so a key missing from O (where it reads as 0)
+  // immediately refutes ≤.
+  auto B = O.Entries.begin(), BE = O.Entries.end();
+  for (const Entry &E : Entries) {
+    while (B != BE && B->Var < E.Var)
+      ++B;
+    if (B == BE || E.Var < B->Var || E.T > B->T)
       return false;
+  }
   return true;
 }
 

@@ -15,6 +15,12 @@
 /// entries are 0 (the initial timestamp), and zero entries are erased so
 /// that equality/hashing coincide with the semantic total map.
 ///
+/// Representation (DESIGN.md §11): a vector of (VarId, Time) entries sorted
+/// by the dense interned variable id. Programs touch a handful of locations,
+/// so reads/joins/leq are linear scans over one contiguous allocation —
+/// copying a view is a single vector copy instead of a red-black-tree clone,
+/// which is what makes successor states cheap to derive.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSOPT_PS_VIEW_H
@@ -24,48 +30,73 @@
 #include "support/Rational.h"
 #include "support/Symbol.h"
 
-#include <map>
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace psopt {
 
 /// A timestamp (Time ∈ Q).
 using Time = Rational;
 
-/// Sparse map Var → Time defaulting to 0.
+/// Sparse map Var → Time defaulting to 0, as a flat sorted vector.
 class TimeMap {
 public:
+  /// One non-zero binding. An aggregate so that range-for call sites can
+  /// keep using structured bindings (`for (const auto &[X, T] : ...)`).
+  struct Entry {
+    VarId Var;
+    Time T;
+
+    friend bool operator==(const Entry &A, const Entry &B) {
+      return A.Var == B.Var && A.T == B.T;
+    }
+  };
+  using EntryList = std::vector<Entry>;
+
   /// Reads the timestamp for \p X (0 if absent).
   Time get(VarId X) const {
-    auto It = Entries.find(X);
-    return It == Entries.end() ? Time(0) : It->second;
+    auto It = find(X);
+    return It == Entries.end() || It->Var != X ? Time(0) : It->T;
   }
 
   /// Sets the timestamp for \p X, keeping the representation sparse.
   void set(VarId X, const Time &T) {
-    if (T == Time(0))
-      Entries.erase(X);
-    else
-      Entries[X] = T;
+    auto It = find(X);
+    bool Present = It != Entries.end() && It->Var == X;
+    if (T == Time(0)) {
+      if (Present)
+        Entries.erase(It);
+    } else if (Present) {
+      It->T = T;
+    } else {
+      Entries.insert(It, Entry{X, T});
+    }
   }
 
   /// Joins with the entry (\p X, \p T): pointwise maximum.
   void joinAt(VarId X, const Time &T) {
-    if (T > get(X))
-      set(X, T);
+    if (T == Time(0))
+      return;
+    auto It = find(X);
+    if (It != Entries.end() && It->Var == X) {
+      if (T > It->T)
+        It->T = T;
+    } else {
+      Entries.insert(It, Entry{X, T});
+    }
   }
 
-  /// Pointwise maximum with \p O.
-  void join(const TimeMap &O) {
-    for (const auto &[X, T] : O.Entries)
-      joinAt(X, T);
-  }
+  /// Pointwise maximum with \p O: a linear merge of the two sorted entry
+  /// lists. When every key of \p O is already bound here the merge runs in
+  /// place without allocating.
+  void join(const TimeMap &O);
 
-  /// True if this ≤ O pointwise.
+  /// True if this ≤ O pointwise (linear parallel scan).
   bool leq(const TimeMap &O) const;
 
   /// The non-zero entries (sorted by variable id).
-  const std::map<VarId, Time> &entries() const { return Entries; }
+  const EntryList &entries() const { return Entries; }
 
   bool operator==(const TimeMap &O) const { return Entries == O.Entries; }
 
@@ -73,7 +104,19 @@ public:
   std::string str() const;
 
 private:
-  std::map<VarId, Time> Entries;
+  EntryList::iterator find(VarId X) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), X,
+        [](const Entry &E, VarId V) { return E.Var < V; });
+  }
+  EntryList::const_iterator find(VarId X) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), X,
+        [](const Entry &E, VarId V) { return E.Var < V; });
+  }
+
+  // Sorted by Var; no zero entries.
+  EntryList Entries;
 };
 
 /// A thread view V = (Tna, Trlx). Invariant (established by the step

@@ -61,10 +61,11 @@ public:
         return false;
     }
 
-    for (const auto &[X, Msgs] : Mt.storage()) {
+    for (const Memory::Loc &L : Mt.storage()) {
+      VarId X = L.var();
       if (Atomics.count(X))
         continue;
-      for (const Message &M : Msgs) {
+      for (const Message &M : L.messages()) {
         if (!M.isConcrete() || M.To == Time(0))
           continue;
         auto SrcTo = Phi.get(X, M.To);

@@ -12,10 +12,8 @@ namespace psopt {
 
 TimestampMap TimestampMap::initial(const Memory &Init) {
   TimestampMap Phi;
-  for (const auto &[X, Ms] : Init.storage()) {
-    (void)Ms;
-    Phi.Map[{X, Time(0)}] = Time(0);
-  }
+  for (const Memory::Loc &L : Init.storage())
+    Phi.Map[{L.var(), Time(0)}] = Time(0);
   return Phi;
 }
 
@@ -33,12 +31,12 @@ void TimestampMap::bind(VarId X, const Time &TgtTo, const Time &SrcTo) {
 
 bool TimestampMap::domainMatches(const Memory &Mt) const {
   std::size_t Concrete = 0;
-  for (const auto &[X, Msgs] : Mt.storage()) {
-    for (const Message &M : Msgs) {
+  for (const Memory::Loc &L : Mt.storage()) {
+    for (const Message &M : L.messages()) {
       if (!M.isConcrete())
         continue;
       ++Concrete;
-      if (!Map.count({X, M.To}))
+      if (!Map.count({L.var(), M.To}))
         return false;
     }
   }

@@ -1,0 +1,173 @@
+//===- tests/ps/StateOracleTest.cpp - Representation-change oracle ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Bit-identity oracle for machine-state representation changes (the flat-
+/// view / copy-on-write-memory refactor, DESIGN.md §11). The checked-in
+/// fingerprint file tests/oracle/state_oracle.txt was generated from the
+/// pre-refactor map-based representation; this test re-explores the same
+/// program corpus — every litmus test, every corpus reproducer, and 50
+/// random programs — across jobs 1/2/8 x reduce on/off x cert-cache on/off
+/// and requires every BehaviorSet (trace sets, Exhausted, and the
+/// NodesVisited/UniqueStates/Transitions counters) to reproduce exactly.
+///
+/// Regenerate (only when an intentional semantic change occurs, never for a
+/// pure representation change) with:
+///
+///   PSOPT_STATE_ORACLE_WRITE=tests/oracle/state_oracle.txt
+///     ./build/tests/psopt_state_tests --gtest_filter='StateOracle*'
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "fuzz/Corpus.h"
+#include "litmus/Litmus.h"
+#include "litmus/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace psopt {
+namespace {
+
+/// FNV-1a over \p S: stable across platforms and standard libraries, unlike
+/// std::hash (the fingerprints are checked in).
+std::uint64_t fnv1a64(const std::string &S) {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+void appendTraces(std::ostringstream &OS, const char *Tag,
+                  const std::set<Trace> &Ts) {
+  OS << Tag << '{';
+  for (const Trace &T : Ts) {
+    OS << '[';
+    for (Val V : T)
+      OS << V << ',';
+    OS << ']';
+  }
+  OS << '}';
+}
+
+/// Canonical serialization of everything BehaviorSet::operator== compares.
+std::string serializeBehaviors(const BehaviorSet &B) {
+  std::ostringstream OS;
+  appendTraces(OS, "done", B.Done);
+  appendTraces(OS, "abort", B.Abort);
+  appendTraces(OS, "prefix", B.Prefixes);
+  appendTraces(OS, "blocked", B.Blocked);
+  OS << "exhausted=" << B.Exhausted;
+  return OS.str();
+}
+
+/// One oracle line: program tag, engine config, behavior fingerprint and
+/// the raw node counters (kept unhashed so a mismatch names the drift).
+void fingerprintProgram(const std::string &Tag, const Program &P,
+                        const StepConfig &Base,
+                        std::vector<std::string> &Lines) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    for (bool Reduce : {true, false}) {
+      for (bool Cache : {true, false}) {
+        StepConfig SC = Base;
+        SC.EnableCertCache = Cache;
+        ExploreConfig EC;
+        EC.Jobs = Jobs;
+        EC.Reduce = Reduce;
+        BehaviorSet B = exploreInterleaving(P, SC, EC);
+        std::ostringstream OS;
+        char Fp[32];
+        std::snprintf(Fp, sizeof(Fp), "%016llx",
+                      static_cast<unsigned long long>(
+                          fnv1a64(serializeBehaviors(B))));
+        OS << Tag << " j" << Jobs << " r" << (Reduce ? 1 : 0) << " c"
+           << (Cache ? 1 : 0) << ' ' << Fp << " nodes=" << B.NodesVisited
+           << " unique=" << B.UniqueStates << " trans=" << B.Transitions;
+        Lines.push_back(OS.str());
+      }
+    }
+  }
+}
+
+/// The 50-seed random-program recipe (mirrors the reduction-equivalence
+/// sweep's mix of promise/promise-free, branch/loop, CAS and racy shapes,
+/// on its own seed series so the two suites stay independent).
+RandomProgramConfig randomConfig(unsigned I) {
+  bool Promises = I % 5 == 0;
+  RandomProgramConfig C;
+  C.Seed = 17000 + I;
+  C.NumThreads = Promises ? 2 : 2 + I % 2;
+  C.NumNaVars = 2;
+  C.NumAtomicVars = Promises ? 1 : 1 + I % 2;
+  C.AllowCas = (I % 3 == 0);
+  C.AllowLoop = !Promises && (I % 4 == 0);
+  C.AllowBranch = !C.AllowLoop;
+  C.InstrsPerThread = C.AllowLoop ? 2 : 3;
+  C.ExclusiveNaWriters = (I % 2 == 0);
+  return C;
+}
+
+std::vector<std::string> collectOracleLines() {
+  std::vector<std::string> Lines;
+  for (const LitmusTest &T : allLitmusTests())
+    fingerprintProgram("lit:" + T.Name, T.Prog, T.SuggestedConfig(), Lines);
+  std::vector<std::string> Files = listCorpusFiles(PSOPT_CORPUS_DIR);
+  EXPECT_FALSE(Files.empty()) << "corpus dir missing: " PSOPT_CORPUS_DIR;
+  for (const std::string &File : Files) {
+    std::string Err;
+    std::optional<CorpusEntry> E = loadCorpusEntry(File, Err);
+    EXPECT_TRUE(E) << Err;
+    if (!E)
+      continue;
+    StepConfig SC;
+    SC.EnablePromises = E->Promises;
+    fingerprintProgram("corpus:" + E->Name, E->Prog, SC, Lines);
+  }
+  for (unsigned I = 0; I < 50; ++I) {
+    RandomProgramConfig C = randomConfig(I);
+    StepConfig SC;
+    SC.EnablePromises = I % 5 == 0;
+    fingerprintProgram("rand:" + std::to_string(C.Seed),
+                       generateRandomProgram(C), SC, Lines);
+  }
+  return Lines;
+}
+
+TEST(StateOracleTest, BitIdenticalToPreRefactorRepresentation) {
+  std::vector<std::string> Lines = collectOracleLines();
+
+  if (const char *WritePath = std::getenv("PSOPT_STATE_ORACLE_WRITE")) {
+    std::ofstream Out(WritePath);
+    ASSERT_TRUE(Out) << "cannot write " << WritePath;
+    Out << "# psopt state-representation oracle v1\n"
+        << "# program | jobs reduce cache | behavior-fnv64 | node counters\n";
+    for (const std::string &L : Lines)
+      Out << L << '\n';
+    GTEST_SKIP() << "oracle regenerated at " << WritePath;
+  }
+
+  std::ifstream In(PSOPT_STATE_ORACLE_PATH);
+  ASSERT_TRUE(In) << "oracle file missing: " PSOPT_STATE_ORACLE_PATH;
+  std::vector<std::string> Expected;
+  for (std::string L; std::getline(In, L);)
+    if (!L.empty() && L[0] != '#')
+      Expected.push_back(L);
+
+  ASSERT_EQ(Lines.size(), Expected.size()) << "oracle corpus drifted";
+  for (std::size_t I = 0; I < Lines.size(); ++I)
+    EXPECT_EQ(Lines[I], Expected[I]) << "behavior drift at oracle line " << I;
+}
+
+} // namespace
+} // namespace psopt

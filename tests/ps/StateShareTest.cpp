@@ -1,0 +1,247 @@
+//===- tests/ps/StateShareTest.cpp - Structure-sharing state tests ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The structure-sharing state representation (DESIGN.md §11): copying a
+/// MachineState must be observationally a deep copy — mutating a successor
+/// (its memory, its views, its hashes) never perturbs the parent — even
+/// though memory message lists are shared copy-on-write under the hood.
+/// Alongside the COW-aliasing units, a randomized parent-child divergence
+/// sweep drives real successor enumeration on random programs and checks
+/// parent snapshots survive arbitrary child mutation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Canonical.h"
+#include "litmus/Litmus.h"
+#include "litmus/RandomProgram.h"
+#include "ps/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace psopt {
+namespace {
+
+/// A full observational snapshot of a machine state: rendered text plus the
+/// memoized hashes. Any later mutation of a *different* state value must
+/// leave all of it unchanged.
+struct StateSnapshot {
+  std::string Str;
+  std::size_t Hash;
+  std::string MemStr;
+  std::size_t MemHash;
+
+  explicit StateSnapshot(const MachineState &S)
+      : Str(S.str()), Hash(S.hash()), MemStr(S.Mem.str()),
+        MemHash(S.Mem.hash()) {}
+
+  void expectUnchanged(const MachineState &S) const {
+    EXPECT_EQ(Str, S.str());
+    EXPECT_EQ(Hash, S.hash());
+    EXPECT_EQ(MemStr, S.Mem.str());
+    EXPECT_EQ(MemHash, S.Mem.hash());
+  }
+};
+
+TEST(StateShareTest, CopiedMemoryIsIndependent) {
+  VarId X("ss_x"), Y("ss_y");
+  Memory A = Memory::initial({X, Y});
+  A.insert(Message::concrete(X, 1, Time(1), Time(2), View{}));
+  std::string AStr = A.str();
+  std::size_t AHash = A.hash();
+
+  Memory B = A; // cheap copy: shares message lists until a mutation
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+
+  B.insert(Message::concrete(Y, 7, Time(3), Time(4), View{}));
+  EXPECT_EQ(AStr, A.str()) << "mutating the copy leaked into the original";
+  EXPECT_EQ(AHash, A.hash());
+  EXPECT_FALSE(A == B);
+
+  // Mutating the original's already-diverged location leaves the copy alone.
+  A.insert(Message::concrete(X, 9, Time(5), Time(6), View{}));
+  EXPECT_EQ(B.messages(X).size(), 2u);
+  EXPECT_EQ(B.messages(Y).size(), 2u);
+}
+
+TEST(StateShareTest, InPlaceMessageRewriteDoesNotLeakAcrossCopies) {
+  VarId X("ss_fp");
+  Memory A = Memory::initial({X});
+  Message Prm = Message::concrete(X, 7, Time(1), Time(2), View{});
+  Prm.Owner = 1;
+  Prm.IsPromise = true;
+  A.insert(Prm);
+
+  Memory B = A;
+  std::string AStr = A.str();
+  B.fulfillPromise(X, Time(2), View{});
+  EXPECT_EQ(AStr, A.str()) << "fulfillPromise mutated a shared list";
+  EXPECT_TRUE(A.hasConcretePromises(1));
+  EXPECT_FALSE(B.hasConcretePromises(1));
+}
+
+TEST(StateShareTest, EraseAndRemoveReservationAreCopyLocal) {
+  VarId X("ss_er");
+  Memory A = Memory::initial({X});
+  A.insert(Message::reservation(X, Time(1), Time(2), 0));
+  A.insert(Message::concrete(X, 3, Time(4), Time(5), View{}));
+
+  Memory B = A;
+  B.removeReservation(X, Time(2));
+  B.erase(X, Time(5));
+  EXPECT_EQ(A.messages(X).size(), 3u);
+  EXPECT_EQ(B.messages(X).size(), 1u);
+}
+
+TEST(StateShareTest, CappedMemoryLeavesSourceUntouched) {
+  VarId X("ss_cap");
+  Memory A = Memory::initial({X});
+  A.insert(Message::concrete(X, 1, Time(2), Time(3), View{}));
+  std::string AStr = A.str();
+  std::size_t AHash = A.hash();
+  Memory Capped = A.capped(0);
+  EXPECT_EQ(AStr, A.str());
+  EXPECT_EQ(AHash, A.hash());
+  EXPECT_GT(Capped.messages(X).size(), A.messages(X).size());
+}
+
+TEST(StateShareTest, ViewCopiesAreIndependent) {
+  VarId X("ss_vx"), Y("ss_vy");
+  View A;
+  A.setNaAt(X, Time(2));
+  A.setRlxAt(X, Time(3));
+  std::size_t AHash = A.hash();
+
+  View B = A;
+  EXPECT_EQ(A, B);
+  B.joinRlxAt(Y, Time(9));
+  B.setNaAt(X, Time(7));
+  EXPECT_EQ(A.naAt(X), Time(2));
+  EXPECT_EQ(A.rlxAt(Y), Time(0));
+  EXPECT_EQ(AHash, A.hash());
+  EXPECT_FALSE(A == B);
+}
+
+TEST(StateShareTest, SuccessorMutationNeverPerturbsParent) {
+  // Drive real successor enumeration on every litmus program: snapshot the
+  // parent, then canonicalize and further mutate every child.
+  for (const LitmusTest &T : allLitmusTests()) {
+    SCOPED_TRACE(T.Name);
+    InterleavingMachine M(T.Prog, T.SuggestedConfig());
+    ASSERT_TRUE(M.initial());
+    MachineState Parent = *M.initial();
+    canonicalizeState(Parent);
+    StateSnapshot Snap(Parent);
+
+    std::vector<MachineSuccessor> Succs;
+    M.successors(Parent, Succs);
+    Snap.expectUnchanged(Parent);
+
+    for (MachineSuccessor &S : Succs) {
+      canonicalizeState(S.State);
+      // Arbitrary child-side abuse: join views forward, touch memory.
+      for (ThreadState &TS : S.State.Threads) {
+        TS.V.joinRlxAt(VarId("ss_poison"), Time(99));
+        TS.invalidateHash();
+      }
+      S.State.Mem.insert(Message::concrete(VarId("ss_poison"), 1, Time(100),
+                                           Time(101), View{}));
+      S.State.invalidateHash();
+      (void)S.State.hash();
+    }
+    Snap.expectUnchanged(Parent);
+  }
+}
+
+TEST(StateShareTest, RandomizedParentChildDivergence) {
+  // Random-program sweep: walk a random path through the state graph; at
+  // every step snapshot the parent, expand, mutate every child, and check
+  // the parent (and the grandparent trail) is bit-stable.
+  std::mt19937_64 Rng(20260808);
+  for (unsigned I = 0; I < 12; ++I) {
+    RandomProgramConfig C;
+    C.Seed = 31000 + I;
+    C.NumThreads = 2 + I % 2;
+    C.NumNaVars = 2;
+    C.NumAtomicVars = 1 + I % 2;
+    C.AllowCas = I % 3 == 0;
+    C.InstrsPerThread = 3;
+    Program P = generateRandomProgram(C);
+    StepConfig SC;
+    SC.EnablePromises = I % 4 == 0;
+    InterleavingMachine M(P, SC);
+    ASSERT_TRUE(M.initial());
+    SCOPED_TRACE("seed " + std::to_string(C.Seed));
+
+    MachineState Cur = *M.initial();
+    canonicalizeState(Cur);
+    std::vector<MachineState> Trail;
+    std::vector<StateSnapshot> Snaps;
+    std::vector<MachineSuccessor> Succs;
+    for (unsigned Depth = 0; Depth < 8; ++Depth) {
+      Trail.push_back(Cur);
+      Snaps.emplace_back(Trail.back());
+
+      M.successors(Cur, Succs);
+      if (Succs.empty())
+        break;
+      std::size_t Pick = Rng() % Succs.size();
+      MachineState Next = Succs[Pick].State;
+      canonicalizeState(Next);
+
+      // Mutate every non-picked child aggressively; ancestors must hold.
+      for (std::size_t J = 0; J < Succs.size(); ++J) {
+        if (J == Pick)
+          continue;
+        MachineSuccessor &S = Succs[J];
+        S.State.Mem.insert(Message::concrete(
+            VarId("ss_noise"), 5, Time(500 + Depth), Time(501 + Depth),
+            View{}));
+        for (ThreadState &TS : S.State.Threads) {
+          TS.V.setRlxAt(VarId("ss_noise"), Time(501 + Depth));
+          TS.invalidateHash();
+        }
+        S.State.invalidateHash();
+        (void)S.State.hash();
+      }
+      for (std::size_t J = 0; J < Trail.size(); ++J)
+        Snaps[J].expectUnchanged(Trail[J]);
+      Cur = std::move(Next);
+      if (Cur.allTerminated())
+        break;
+    }
+    for (std::size_t J = 0; J < Trail.size(); ++J)
+      Snaps[J].expectUnchanged(Trail[J]);
+  }
+}
+
+TEST(StateShareTest, HashFastPathAgreesWithEquality) {
+  // MachineState::operator== short-circuits on the memoized hash; equal
+  // states must still compare equal after independent hash computation,
+  // and unequal states must compare unequal even when built identically
+  // up to one message.
+  const LitmusTest &T = litmus("sb");
+  InterleavingMachine M(T.Prog, T.SuggestedConfig());
+  ASSERT_TRUE(M.initial());
+  MachineState A = *M.initial();
+  MachineState B = *M.initial();
+  canonicalizeState(A);
+  canonicalizeState(B);
+  (void)A.hash();
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+
+  std::vector<MachineSuccessor> Succs;
+  M.successors(A, Succs);
+  ASSERT_FALSE(Succs.empty());
+  canonicalizeState(Succs[0].State);
+  EXPECT_FALSE(A == Succs[0].State);
+}
+
+} // namespace
+} // namespace psopt
