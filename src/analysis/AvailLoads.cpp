@@ -159,6 +159,12 @@ AvailFact availTransfer(const Program &P, const Instr &I, AvailFact Before) {
     Before.killReg(I.dest());
     Before.killAllLoads();
     return Before;
+  case Instr::Kind::Fence:
+    // An acq-side fence synchronizes with earlier relaxed reads: every
+    // remembered load may be stale. The rel side publishes only.
+    if (fenceHasAcq(I.fenceMode()))
+      Before.killAllLoads();
+    return Before;
   }
   PSOPT_UNREACHABLE("bad instruction kind");
 }

@@ -42,6 +42,7 @@ ConstFact constTransfer(const Instr &I, ConstFact Before) {
   case Instr::Kind::Skip:
   case Instr::Kind::Print:
   case Instr::Kind::Store:
+  case Instr::Kind::Fence:
     return Before;
   case Instr::Kind::Assign: {
     ExprRef Folded = Expr::fold(

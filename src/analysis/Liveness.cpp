@@ -105,6 +105,12 @@ LiveSet livenessTransfer(const Instr &I, const LiveSet &After,
     for (RegId R : I.usedRegs())
       Before.addReg(R);
     return Before;
+  case Instr::Kind::Fence:
+    // Release rule: a rel-side fence publishes every earlier write through
+    // a later relaxed store; the acq side neither reads nor writes.
+    if (fenceHasRel(I.fenceMode()))
+      Before.addAllVars(U);
+    return Before;
   }
   PSOPT_UNREACHABLE("bad instruction kind");
 }

@@ -13,8 +13,11 @@ void canonicalizeState(MachineState &S) {
   TimeRenamer R;
   R.note(Time(0)); // 0 must stay the least timestamp (absent map entries).
   R.noteMemory(S.Mem);
-  for (const ThreadState &TS : S.Threads)
+  for (const ThreadState &TS : S.Threads) {
     R.noteView(TS.V);
+    R.noteView(TS.Acq);
+    R.noteView(TS.Rel);
+  }
 
   R.freeze();
 
@@ -27,10 +30,21 @@ void canonicalizeState(MachineState &S) {
 
   R.rewriteMemory(S.Mem);
   for (ThreadState &TS : S.Threads) {
-    if (!R.changesView(TS.V))
-      continue;
-    TS.V = R.mapView(TS.V);
-    TS.invalidateHash();
+    bool Changed = false;
+    if (R.changesView(TS.V)) {
+      TS.V = R.mapView(TS.V);
+      Changed = true;
+    }
+    if (R.changesView(TS.Acq)) {
+      TS.Acq = R.mapView(TS.Acq);
+      Changed = true;
+    }
+    if (R.changesView(TS.Rel)) {
+      TS.Rel = R.mapView(TS.Rel);
+      Changed = true;
+    }
+    if (Changed)
+      TS.invalidateHash();
   }
   S.invalidateHash();
 }

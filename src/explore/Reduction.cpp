@@ -76,7 +76,7 @@ bool Reducer::selectFused(const MachineState &S, ReducerScratch &Scr,
     unsigned Len = 0;
     for (;;) {
       Scr.Steps.clear();
-      enumerateProgramSteps(P, T, Cur, S.Mem, Scr.Steps);
+      enumerateProgramSteps(P, T, Cur, S.Mem, Scr.Steps, M->config());
       if (Scr.Steps.size() != 1 || Scr.Steps[0].Abort)
         break; // chain ends before a branch point / abort
       ThreadSuccessor &Step = Scr.Steps[0];
@@ -148,6 +148,14 @@ void Reducer::project(MachineState &S) const {
     bool ThreadChanged = TS.Local.collapseTerminated();
     if (!(TS.V == View{})) {
       TS.V = View{};
+      ThreadChanged = true;
+    }
+    if (!(TS.Acq == View{})) {
+      TS.Acq = View{};
+      ThreadChanged = true;
+    }
+    if (!(TS.Rel == View{})) {
+      TS.Rel = View{};
       ThreadChanged = true;
     }
     if (ThreadChanged) {

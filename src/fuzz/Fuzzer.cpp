@@ -165,6 +165,14 @@ RandomProgramConfig generatorConfig(std::uint64_t RunSeed) {
   // optimization in the paper breaks (Fig 1, Fig 15), and the shape plain
   // uniform sampling almost never produces.
   G.MpSkeletonPercent = 60;
+  // Fence-based MP half the time the skeleton fires, plus stray fences in
+  // ordinary bodies: gives fenceweaken dominated/adjacent/trailing fences
+  // and makes unsafe-fenceweaken's dropped reader fence observable.
+  G.FenceMpPercent = 50;
+  G.FencePercent = 12;
+  // Adjacent na-store/na-load pairs and the post-acquire payload re-read:
+  // the shapes reorder moves and unsafe-reorder hoists across the acquire.
+  G.ReorderBaitPercent = 40;
   return G;
 }
 

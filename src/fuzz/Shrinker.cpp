@@ -90,6 +90,12 @@ Metric metricOf(const Program &P) {
         case Instr::Kind::Print:
           Exprs += exprSize(I.expr());
           break;
+        case Instr::Kind::Fence:
+          // acqrel costs both sides so demoting to acq/rel is an accepted
+          // shrink; a one-sided fence costs like the matching access mode.
+          Modes += (fenceHasAcq(I.fenceMode()) ? 1u : 0u) +
+                   (fenceHasRel(I.fenceMode()) ? 1u : 0u);
+          break;
         case Instr::Kind::Skip:
           break;
         }
@@ -192,6 +198,11 @@ std::vector<Program> candidates(const Program &P) {
             Replace(Instr::makeCas(In.dest(), In.var(), In.casExpected(),
                                    In.casDesired(), In.readMode(),
                                    WriteMode::RLX));
+        }
+        // Weaken an acqrel fence to either single-sided form.
+        if (In.isFence() && In.fenceMode() == FenceMode::ACQREL) {
+          Replace(Instr::makeFence(FenceMode::ACQ));
+          Replace(Instr::makeFence(FenceMode::REL));
         }
         // Replace expression operands by 0.
         if (std::optional<Instr> New = rewriteExprs(In, zeroExpr))

@@ -79,6 +79,12 @@ FunctionBuilder &FunctionBuilder::print(ExprRef E) {
   return *this;
 }
 
+FunctionBuilder &FunctionBuilder::fence(FenceMode M) {
+  requireOpenBlock();
+  CurInstrs.push_back(Instr::makeFence(M));
+  return *this;
+}
+
 void FunctionBuilder::closeBlock(Terminator T) {
   requireOpenBlock();
   F.setBlock(CurLabel, BasicBlock(std::move(CurInstrs), std::move(T)));

@@ -46,6 +46,7 @@ public:
   FunctionBuilder &assign(RegId R, Val V);
   FunctionBuilder &skip();
   FunctionBuilder &print(ExprRef E);
+  FunctionBuilder &fence(FenceMode M);
 
   /// Terminators close the current block.
   FunctionBuilder &jmp(BlockLabel Target);

@@ -56,6 +56,12 @@ Instr Instr::makePrint(ExprRef E) {
   return I;
 }
 
+Instr Instr::makeFence(FenceMode M) {
+  Instr I(Kind::Fence);
+  I.FM = M;
+  return I;
+}
+
 bool Instr::isAtomicAccess() const {
   switch (K) {
   case Kind::Load:
@@ -69,6 +75,7 @@ bool Instr::isAtomicAccess() const {
   case Kind::Assign:
   case Kind::Skip:
   case Kind::Print:
+  case Kind::Fence: // Fences access no location (their event class is AT).
     return false;
   }
   PSOPT_UNREACHABLE("bad instruction kind");
@@ -94,6 +101,11 @@ WriteMode Instr::writeMode() const {
   return WM;
 }
 
+FenceMode Instr::fenceMode() const {
+  PSOPT_CHECK(isFence(), "fenceMode on non-fence");
+  return FM;
+}
+
 const ExprRef &Instr::expr() const {
   PSOPT_CHECK(isStore() || isAssign() || isPrint(), "expr on wrong kind");
   return E;
@@ -114,6 +126,7 @@ std::set<RegId> Instr::usedRegs() const {
   switch (K) {
   case Kind::Load:
   case Kind::Skip:
+  case Kind::Fence:
     break;
   case Kind::Store:
   case Kind::Assign:
@@ -151,6 +164,8 @@ bool Instr::operator==(const Instr &O) const {
     return R == O.R && Expr::equal(E, O.E);
   case Kind::Print:
     return Expr::equal(E, O.E);
+  case Kind::Fence:
+    return FM == O.FM;
   }
   PSOPT_UNREACHABLE("bad instruction kind");
 }
@@ -171,6 +186,8 @@ std::string Instr::str() const {
     return "skip";
   case Kind::Print:
     return "print(" + E->str() + ")";
+  case Kind::Fence:
+    return std::string("fence.") + fenceModeSpelling(FM);
   }
   PSOPT_UNREACHABLE("bad instruction kind");
 }

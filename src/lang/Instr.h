@@ -37,7 +37,8 @@ public:
     Cas,    ///< r := CAS_or,ow(x, er, ew)
     Assign, ///< r := e
     Skip,   ///< skip
-    Print   ///< print(e)
+    Print,  ///< print(e)
+    Fence   ///< fence_of (acq, rel, or acqrel)
   };
 
   /// r := x_or
@@ -54,6 +55,8 @@ public:
   static Instr makeSkip();
   /// print(e)
   static Instr makePrint(ExprRef E);
+  /// fence_of
+  static Instr makeFence(FenceMode M);
 
   Kind kind() const { return K; }
   bool isLoad() const { return K == Kind::Load; }
@@ -62,6 +65,7 @@ public:
   bool isAssign() const { return K == Kind::Assign; }
   bool isSkip() const { return K == Kind::Skip; }
   bool isPrint() const { return K == Kind::Print; }
+  bool isFence() const { return K == Kind::Fence; }
 
   /// True for instructions with any shared-memory access.
   bool accessesMemory() const { return isLoad() || isStore() || isCas(); }
@@ -79,6 +83,8 @@ public:
   ReadMode readMode() const;
   /// Write mode (Store, Cas).
   WriteMode writeMode() const;
+  /// Fence mode (Fence).
+  FenceMode fenceMode() const;
   /// Stored expression (Store), assigned expression (Assign) or printed
   /// expression (Print).
   const ExprRef &expr() const;
@@ -105,6 +111,7 @@ private:
   VarId X;
   ReadMode RM = ReadMode::NA;
   WriteMode WM = WriteMode::NA;
+  FenceMode FM = FenceMode::ACQ;
   ExprRef E;  // Store/Assign/Print payload.
   ExprRef E2; // CAS desired value (E = expected).
 };

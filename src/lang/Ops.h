@@ -30,6 +30,13 @@ enum class ReadMode : std::uint8_t { NA, RLX, ACQ };
 /// Write access modes (ModeW): non-atomic, relaxed, release.
 enum class WriteMode : std::uint8_t { NA, RLX, REL };
 
+/// Fence modes: acquire-only, release-only, or both. CSimpRTL as given in
+/// the paper has no fences; we add them in the PS1.0 style (acquire fences
+/// flush the thread's accumulated acquire view into V, release fences
+/// snapshot V for later relaxed writes and require the promise set empty)
+/// so fence elimination/weakening has something to optimize.
+enum class FenceMode : std::uint8_t { ACQ, REL, ACQREL };
+
 /// Binary expression operators.
 enum class BinOp : std::uint8_t { Add, Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge };
 
@@ -110,6 +117,25 @@ inline const char *writeModeSpelling(WriteMode M) {
   }
   return "?";
 }
+
+/// Spelling of a fence mode ("acq", "rel", "acqrel").
+inline const char *fenceModeSpelling(FenceMode M) {
+  switch (M) {
+  case FenceMode::ACQ:
+    return "acq";
+  case FenceMode::REL:
+    return "rel";
+  case FenceMode::ACQREL:
+    return "acqrel";
+  }
+  return "?";
+}
+
+/// True when \p M has an acquire component (acq or acqrel).
+inline bool fenceHasAcq(FenceMode M) { return M != FenceMode::REL; }
+
+/// True when \p M has a release component (rel or acqrel).
+inline bool fenceHasRel(FenceMode M) { return M != FenceMode::ACQ; }
 
 } // namespace psopt
 

@@ -313,6 +313,16 @@ private:
         Out.push_back(Instr::makePrint(std::move(E)));
       return;
     }
+    if (peekIdent("fence")) {
+      // Fence: fence.‹mode›
+      advance();
+      expectPunct(".");
+      auto FM = parseFenceMode();
+      expectPunct(";");
+      if (!failed())
+        Out.push_back(Instr::makeFence(FM));
+      return;
+    }
     // Remaining forms start with an identifier.
     std::string Name = expectAnyIdent();
     if (failed())
@@ -402,6 +412,18 @@ private:
       return WriteMode::REL;
     fail("expected write mode na/rlx/rel");
     return WriteMode::NA;
+  }
+
+  FenceMode parseFenceMode() {
+    std::string M = expectAnyIdent();
+    if (M == "acq")
+      return FenceMode::ACQ;
+    if (M == "rel")
+      return FenceMode::REL;
+    if (M == "acqrel")
+      return FenceMode::ACQREL;
+    fail("expected fence mode acq/rel/acqrel");
+    return FenceMode::ACQ;
   }
 
   // --- expressions -----------------------------------------------------------

@@ -28,6 +28,7 @@ public:
   Program generate() {
     MpSkeleton = C.NumThreads >= 2 && !NaVars.empty() &&
                  !AtomicVars.empty() && percent(C.MpSkeletonPercent);
+    FenceMp = MpSkeleton && percent(C.FenceMpPercent);
     Program P;
     for (VarId A : AtomicVars)
       P.addAtomic(A);
@@ -76,6 +77,13 @@ private:
 
   /// One random straight-line instruction for thread \p T.
   Instr randomInstr(unsigned T) {
+    // Random fences feed fenceweaken: adjacent same-side fences are
+    // dominated, fences past the last access are trailing.
+    if (percent(C.FencePercent)) {
+      static const FenceMode Ms[] = {FenceMode::ACQ, FenceMode::REL,
+                                     FenceMode::ACQREL};
+      return Instr::makeFence(Ms[pick(3)]);
+    }
     // Redundancy: re-issue a recent load into a fresh register or recompute
     // a recent expression, giving CSE/LInv something to eliminate.
     if (!History[T].empty() && percent(C.RedundancyPercent)) {
@@ -167,9 +175,17 @@ private:
     FunctionBuilder FB;
     FB.startBlock(0);
     FB.store(NaVars[0], dsl::cst(1), WriteMode::NA);
-    FB.store(AtomicVars[0], dsl::cst(1), WriteMode::REL);
+    if (FenceMp) {
+      // Fence-based publication: the rel fence snapshots the payload
+      // write into Rel, which the relaxed flag store then carries.
+      FB.fence(FenceMode::REL);
+      FB.store(AtomicVars[0], dsl::cst(1), WriteMode::RLX);
+    } else {
+      FB.store(AtomicVars[0], dsl::cst(1), WriteMode::REL);
+    }
     if (coin())
       FB.store(NaVars[0], dsl::cst(2), WriteMode::NA);
+    emitReorderBait(FB, T);
     for (unsigned I = 0; I < C.InstrsPerThread; ++I)
       appendRandom(FB, T);
     emitPrints(FB, T);
@@ -189,6 +205,29 @@ private:
     VarId A = AtomicVars[0];
     RegId Flag = RegId("qflag" + std::to_string(T));
     RegId Post = RegId("qpost" + std::to_string(T));
+    if (FenceMp) {
+      // Fence-based reader: the relaxed flag read banks the published
+      // view into Acq; the second acq fence publishes it into V. That
+      // fence is dominated-across-a-load — the verified fenceweaken keeps
+      // it, the unsafe twin drops it and the reader goes stale.
+      FB.startBlock(0);
+      FB.fence(FenceMode::ACQ);
+      FB.load(Flag, A, ReadMode::RLX);
+      rememberLoadedReg(T, Flag);
+      FB.fence(FenceMode::ACQ);
+      FB.load(Post, D, ReadMode::NA);
+      rememberLoadedReg(T, Post);
+      FB.be(dsl::eq(dsl::reg(Flag), dsl::cst(1)), 1, 2);
+      FB.startBlock(1);
+      for (unsigned I = 0; I < C.InstrsPerThread; ++I)
+        appendRandom(FB, T);
+      FB.jmp(3);
+      FB.startBlock(2).jmp(3);
+      FB.startBlock(3);
+      emitPrints(FB, T);
+      FB.ret();
+      return FB.take();
+    }
     if (C.AllowLoop && coin()) {
       RegId Iter = RegId("qiter" + std::to_string(T));
       FB.startBlock(0).assign(Iter, 0).jmp(1);
@@ -214,6 +253,13 @@ private:
     rememberLoadedReg(T, Pre);
     FB.load(Flag, A, ReadMode::ACQ);
     rememberLoadedReg(T, Flag);
+    if (percent(C.ReorderBaitPercent)) {
+      // Unguarded payload re-read adjacent to the acquire: the pair
+      // unsafe reorder hoists across it (Fig 1 as a peephole).
+      RegId Hoist = RegId("qhoist" + std::to_string(T));
+      FB.load(Hoist, D, ReadMode::NA);
+      rememberLoadedReg(T, Hoist);
+    }
     FB.be(dsl::eq(dsl::reg(Flag), dsl::cst(1)), 1, 2);
     FB.startBlock(1);
     FB.load(Post, D, ReadMode::NA);
@@ -281,6 +327,7 @@ private:
     }
 
     FB.startBlock(0);
+    emitReorderBait(FB, T);
     for (unsigned I = 0; I < C.InstrsPerThread; ++I)
       appendRandom(FB, T);
     emitPrints(FB, T);
@@ -304,10 +351,31 @@ private:
     case Instr::Kind::Assign:
       FB.assign(I.dest(), I.expr());
       break;
+    case Instr::Kind::Fence:
+      FB.fence(I.fenceMode());
+      break;
     default:
       FB.skip();
       break;
     }
+  }
+
+  /// Reorder's delayed-write bait: an adjacent na-store/na-load pair to
+  /// distinct locations at the head of a body — the W;R → R;W direction
+  /// the verified pass normalizes.
+  void emitReorderBait(FunctionBuilder &FB, unsigned T) {
+    if (!percent(C.ReorderBaitPercent) || NaVars.size() < 2)
+      return;
+    VarId X = naStoreTarget(T);
+    VarId Y = NaVars[pick(static_cast<unsigned>(NaVars.size()))];
+    if (Y == X)
+      Y = NaVars[(std::find(NaVars.begin(), NaVars.end(), X) -
+                  NaVars.begin() + 1) %
+                 NaVars.size()];
+    FB.store(X, randomExpr(T), WriteMode::NA);
+    RegId R = RegId("qbait" + std::to_string(T));
+    FB.load(R, Y, ReadMode::NA);
+    rememberLoadedReg(T, R);
   }
 
   void emitPrints(FunctionBuilder &FB, unsigned T) {
@@ -328,6 +396,7 @@ private:
   RandomProgramConfig C;
   std::mt19937_64 Rng;
   bool MpSkeleton = false;
+  bool FenceMp = false;
   std::vector<std::vector<Instr>> History;    // per-thread, for redundancy
   std::vector<std::vector<RegId>> LoadedRegs; // per-thread load destinations
   std::vector<VarId> NaVars;

@@ -81,6 +81,26 @@ struct RandomProgramConfig {
   /// still fill the bodies, so the skeleton composes with everything else.
   /// 0 (the default) leaves the historical generator untouched.
   unsigned MpSkeletonPercent = 0;
+
+  /// Percent chance [0, 100], sampled when the MP skeleton fires, that the
+  /// pair synchronizes through fences instead of access orderings: the
+  /// publisher separates payload and flag with fence.rel and a *relaxed*
+  /// flag store, and the reader reads the flag relaxed between two acq
+  /// fences before re-reading the payload. The second reader fence is
+  /// dominated-across-a-load — exactly what unsafe fenceweaken drops.
+  unsigned FenceMpPercent = 0;
+
+  /// Percent chance [0, 100] that a random instruction slot emits a fence
+  /// with a random mode, giving fenceweaken dominated, adjacent and
+  /// trailing fences to remove in ordinary bodies.
+  unsigned FencePercent = 0;
+
+  /// Percent chance [0, 100] that a thread body opens with an adjacent
+  /// na-store/na-load pair to distinct locations (reorder's delayed-write
+  /// direction), and that the MP reader re-reads the payload directly
+  /// after its acquire flag read — the adjacent pair unsafe reorder hoists
+  /// across the acquire.
+  unsigned ReorderBaitPercent = 0;
 };
 
 /// Generates a program from \p C. Deterministic in the seed.

@@ -74,6 +74,7 @@ private:
           break;
         case Instr::Kind::Load:
         case Instr::Kind::Skip:
+        case Instr::Kind::Fence:
           break;
         }
       }

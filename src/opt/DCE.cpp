@@ -102,6 +102,7 @@ private:
         case Instr::Kind::Cas:
         case Instr::Kind::Skip:
         case Instr::Kind::Print:
+        case Instr::Kind::Fence:
           break;
         }
       }

@@ -1,0 +1,166 @@
+//===- opt/FenceWeaken.cpp - Fence elimination and weakening ---------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// FenceWeaken: drops or demotes fences that are provably no-ops, using a
+/// block-local forward scan over the fence semantics
+///
+///   fence.acq:  V ⊔= Acq; Acq := ⊥        (consumes banked rlx-read views)
+///   fence.rel:  Rel := V                   (snapshots the view for later
+///                                           rlx stores and promises)
+///
+/// Two rules:
+///
+///  * R1 (dominated fence): an acq part is a no-op when an earlier
+///    acq-side fence in the block has seen no load or CAS since — Acq is
+///    still ⊥, so V ⊔ ⊥ changes nothing. A rel part is a no-op when an
+///    earlier rel-side fence has seen no load, store, CAS *or effective
+///    acq part* since — V has not moved, so Rel := V re-snapshots the
+///    same view. (An acqrel's own acq part runs first; its rel part is
+///    only redundant when the acq part is, too.) A fully redundant fence
+///    becomes skip; an acqrel whose acq side alone is redundant demotes
+///    to rel.
+///
+///  * R2 (trailing fence): in a block ending in ret, an acq part is
+///    unobservable when no memory access follows (the view gain is never
+///    consumed), and a rel part is unobservable when no store or CAS
+///    follows (the snapshot can never be attached to a message, and any
+///    outstanding promise would already have failed certification with
+///    no stores left to fulfil it). Each side is judged separately, so a
+///    trailing acqrel above loads demotes to acq.
+///
+/// The unsafe variant keeps acq parts "fresh" across loads: it drops an
+/// acq fence even though a relaxed load in between banked a new message
+/// view — the fence-based Fig 1. With the second fence of
+/// `fence.acq; f.rlx; fence.acq; d.na` gone, the reader keeps its stale
+/// view of d, which the refinement oracle observes against the
+/// fence-publishing writer `d := 1; fence.rel; f.rlx := 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumDroppedFences("fenceweaken", "dropped",
+                                  "redundant fences removed");
+static Statistic NumDemotedFences("fenceweaken", "demoted",
+                                  "acqrel fences demoted to one side");
+
+namespace {
+
+class FenceWeakenPass : public Pass {
+public:
+  explicit FenceWeakenPass(bool LoadsKillAcq) : LoadsKillAcq(LoadsKillAcq) {}
+
+  const char *name() const override {
+    return LoadsKillAcq ? "fenceweaken" : "fenceweaken-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      for (auto &[L, B] : F.blocks())
+        runOnBlock(B);
+    return Out;
+  }
+
+private:
+  /// R2 acq side: no memory access at or after index \p From, and the
+  /// block falls off the end of the thread.
+  static bool trailingAcq(const BasicBlock &B, std::size_t From) {
+    if (!B.terminator().isRet())
+      return false;
+    for (std::size_t J = From; J < B.size(); ++J)
+      if (B.instructions()[J].accessesMemory())
+        return false;
+    return true;
+  }
+
+  /// R2 rel side: no write (store or CAS) at or after index \p From, and
+  /// the block falls off the end of the thread. Loads are fine — nothing
+  /// ever reads Rel except a write's message view.
+  static bool trailingRel(const BasicBlock &B, std::size_t From) {
+    if (!B.terminator().isRet())
+      return false;
+    for (std::size_t J = From; J < B.size(); ++J) {
+      const Instr &In = B.instructions()[J];
+      if (In.isStore() || In.isCas())
+        return false;
+    }
+    return true;
+  }
+
+  void runOnBlock(BasicBlock &B) const {
+    // AcqFresh: an earlier acq-side fence with nothing banked since.
+    // RelFresh: an earlier rel-side fence with an unchanged view since.
+    bool AcqFresh = false, RelFresh = false;
+    for (std::size_t I = 0; I < B.size(); ++I) {
+      Instr &In = B.instructions()[I];
+      switch (In.kind()) {
+      case Instr::Kind::Load:
+        if (LoadsKillAcq)
+          AcqFresh = false; // the load banked a view Acq must publish
+        RelFresh = false;   // the load raised V
+        continue;
+      case Instr::Kind::Store:
+        RelFresh = false;
+        continue; // stores bank nothing: AcqFresh survives
+      case Instr::Kind::Cas:
+        AcqFresh = false;
+        RelFresh = false;
+        continue;
+      case Instr::Kind::Assign:
+      case Instr::Kind::Skip:
+      case Instr::Kind::Print:
+        continue; // register-only: V and Acq untouched
+      case Instr::Kind::Fence:
+        break;
+      }
+
+      FenceMode M = In.fenceMode();
+      bool AcqNoop =
+          !fenceHasAcq(M) || AcqFresh || trailingAcq(B, I + 1);
+      // R1's rel part re-snapshots V, which the fence's own acq part may
+      // have just raised: redundant only below an unmoved view. R2's rel
+      // side needs no such care — an unobservable snapshot may move.
+      bool RelNoop = !fenceHasRel(M) || (RelFresh && AcqNoop) ||
+                     trailingRel(B, I + 1);
+
+      if (AcqNoop && RelNoop) {
+        In = Instr::makeSkip();
+        ++NumDroppedFences;
+        continue; // state unchanged: the fence did nothing
+      }
+      if (M == FenceMode::ACQREL && (AcqNoop || RelNoop)) {
+        M = AcqNoop ? FenceMode::REL : FenceMode::ACQ;
+        In = Instr::makeFence(M);
+        ++NumDemotedFences;
+      }
+      // Update freshness from the fence we kept.
+      if (fenceHasAcq(M) && !AcqFresh) {
+        RelFresh = false; // an effective acq part raises V
+        AcqFresh = true;
+      }
+      if (fenceHasRel(M))
+        RelFresh = true;
+    }
+  }
+
+  bool LoadsKillAcq;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createFenceWeaken() {
+  return std::make_unique<FenceWeakenPass>(true);
+}
+
+std::unique_ptr<Pass> createUnsafeFenceWeaken() {
+  return std::make_unique<FenceWeakenPass>(false);
+}
+
+} // namespace psopt

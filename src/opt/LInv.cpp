@@ -90,6 +90,8 @@ private:
           return false; // CAS may synchronize: barrier.
         if (I.isLoad() && I.readMode() == ReadMode::ACQ && AcquireBarrier)
           return false; // The Fig 1 restriction.
+        if (I.isFence() && fenceHasAcq(I.fenceMode()) && AcquireBarrier)
+          return false; // An acq-side fence synchronizes like an acq read.
         if (I.isStore() && I.writeMode() == WriteMode::NA)
           StoredNa.insert(I.var());
       }

@@ -1,4 +1,4 @@
-//===- opt/Pass.cpp - Optimization pass composition ---------------------------===//
+//===- opt/Pass.cpp - Optimization pass composition and registry ----------------===//
 //
 // Part of psopt.
 //
@@ -22,42 +22,61 @@ std::unique_ptr<Pass> createUnsafeLICM() {
   return std::make_unique<PassPipeline>("licm-unsafe", std::move(Ps));
 }
 
+const std::vector<PassInfo> &passRegistry() {
+  static const std::vector<PassInfo> Registry = {
+      {"constprop", createConstProp},
+      {"dce", createDCE, "unsafe-dce", createUnsafeDCE},
+      {"rse", createStoreElim, "unsafe-rse", createUnsafeStoreElim},
+      {"cse", createCSE, "unsafe-cse", createUnsafeCSE},
+      {"linv", createLInv, "unsafe-linv", createUnsafeLInv,
+       /*InRefinementSweep=*/false, /*InFuzzPipelines=*/false},
+      {"licm", createLICM, "unsafe-licm", createUnsafeLICM},
+      {"reorder", createReorder, "unsafe-reorder", createUnsafeReorder},
+      {"fenceweaken", createFenceWeaken, "unsafe-fenceweaken",
+       createUnsafeFenceWeaken},
+      {"simplifycfg", createSimplifyCfg, nullptr, nullptr,
+       /*InRefinementSweep=*/false},
+  };
+  return Registry;
+}
+
 std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses() {
   std::vector<std::unique_ptr<Pass>> Ps;
-  Ps.push_back(createConstProp());
-  Ps.push_back(createDCE());
-  Ps.push_back(createCSE());
-  Ps.push_back(createLICM());
+  for (const PassInfo &Info : passRegistry())
+    if (Info.InRefinementSweep)
+      Ps.push_back(Info.Create());
   return Ps;
 }
 
 const std::vector<std::string> &verifiedPassNames() {
-  static const std::vector<std::string> Names = {"constprop", "dce", "cse",
-                                                 "licm", "simplifycfg"};
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    for (const PassInfo &Info : passRegistry())
+      if (Info.InFuzzPipelines)
+        Out.push_back(Info.Name);
+    return Out;
+  }();
+  return Names;
+}
+
+const std::vector<std::string> &unsafePassNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    for (const PassInfo &Info : passRegistry())
+      if (Info.UnsafeName)
+        Out.push_back(Info.UnsafeName);
+    return Out;
+  }();
   return Names;
 }
 
 std::unique_ptr<Pass> createPassByName(const std::string &Name) {
-  if (Name == "constprop")
-    return createConstProp();
-  if (Name == "dce")
-    return createDCE();
-  if (Name == "cse")
-    return createCSE();
-  if (Name == "linv")
-    return createLInv();
-  if (Name == "licm")
-    return createLICM();
-  if (Name == "simplifycfg")
-    return createSimplifyCfg();
-  if (Name == "unsafe-dce")
-    return createUnsafeDCE();
-  if (Name == "unsafe-cse")
-    return createUnsafeCSE();
-  if (Name == "unsafe-linv")
-    return createUnsafeLInv();
-  if (Name == "unsafe-licm")
-    return createUnsafeLICM();
+  for (const PassInfo &Info : passRegistry()) {
+    if (Name == Info.Name)
+      return Info.Create();
+    if (Info.UnsafeName && Name == Info.UnsafeName)
+      return Info.CreateUnsafe();
+  }
   return nullptr;
 }
 

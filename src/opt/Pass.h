@@ -64,6 +64,32 @@ std::unique_ptr<Pass> createLInv();
 /// the Fig 1 mistake, at the hoisting pass.
 std::unique_ptr<Pass> createUnsafeLInv();
 
+/// Creates the adjacent-instruction reordering pass (Fig 3 / Fig 14):
+/// hoists loads and sinks stores within blocks under the delayed-write
+/// side conditions.
+std::unique_ptr<Pass> createReorder();
+
+/// Creates an *incorrect* Reorder variant that hoists loads above acquire
+/// loads — Fig 1 as a peephole.
+std::unique_ptr<Pass> createUnsafeReorder();
+
+/// Creates the redundant store elimination pass: kills na stores
+/// overwritten in-block with no intervening observer or release boundary
+/// (the write-side dual of DCE's Fig 15 rule).
+std::unique_ptr<Pass> createStoreElim();
+
+/// Creates an *incorrect* RSE variant that eliminates across release
+/// writes and rel-side fences — the Fig 15 mistake on the write side.
+std::unique_ptr<Pass> createUnsafeStoreElim();
+
+/// Creates the fence elimination/weakening pass: drops dominated and
+/// trailing fences, demotes acqrel fences whose one side is redundant.
+std::unique_ptr<Pass> createFenceWeaken();
+
+/// Creates an *incorrect* FenceWeaken variant that treats acq fences as
+/// dominated even across intervening relaxed loads.
+std::unique_ptr<Pass> createUnsafeFenceWeaken();
+
 /// Vertical composition: runs passes in order (◦ of §2.5, rightmost name
 /// first in the constructor call, i.e. compose({A, B}) runs A then B).
 class PassPipeline : public Pass {
@@ -96,17 +122,48 @@ std::unique_ptr<Pass> createSimplifyCfg();
 /// Creates the incorrect LICM that hoists across acquire reads (Fig 1).
 std::unique_ptr<Pass> createUnsafeLICM();
 
-/// All four verified optimizers, for parameterized test/bench sweeps.
+/// One registered optimizer. Every pass-name list in the workbench — the
+/// CLI's createPassByName, the fuzzer's random pipelines, the litmus
+/// sweeps and the property harness — derives from this table; a new pass
+/// registers here once and appears everywhere.
+struct PassInfo {
+  /// CLI name of the verified pass ("dce", "rse", ...).
+  const char *Name;
+  /// Factory for the verified pass.
+  std::unique_ptr<Pass> (*Create)();
+  /// CLI name of the deliberately unsound twin ("unsafe-dce", ...), or
+  /// null when the pass has none.
+  const char *UnsafeName = nullptr;
+  /// Factory for the unsound twin, or null.
+  std::unique_ptr<Pass> (*CreateUnsafe)() = nullptr;
+  /// Included in createAllVerifiedPasses() and the refinement sweeps.
+  /// (linv is excluded — it only appears composed inside licm; the
+  /// trace-preserving simplifycfg is excluded as memory-untouching.)
+  bool InRefinementSweep = true;
+  /// Listed by verifiedPassNames(), the pool random fuzz pipelines draw
+  /// from. (linv is excluded in favour of licm.)
+  bool InFuzzPipelines = true;
+};
+
+/// The pass registry, in pipeline-draw order.
+const std::vector<PassInfo> &passRegistry();
+
+/// The verified optimizers with InRefinementSweep set, for parameterized
+/// test/bench sweeps. Derived from passRegistry().
 std::vector<std::unique_ptr<Pass>> createAllVerifiedPasses();
 
-/// Names accepted by createPassByName for the verified passes, in the order
-/// createAllVerifiedPasses uses (plus the trace-preserving simplifycfg).
+/// Names accepted by createPassByName for the verified passes (including
+/// the trace-preserving simplifycfg); the pool `psopt fuzz` draws random
+/// pipelines from. Derived from passRegistry().
 const std::vector<std::string> &verifiedPassNames();
 
-/// Creates a pass by CLI name: "constprop", "dce", "cse", "linv", "licm",
-/// "simplifycfg", or the intentionally broken variants "unsafe-dce",
-/// "unsafe-cse", "unsafe-linv", "unsafe-licm" (for the fuzzer's
-/// demonstrate-the-oracle mode). Returns null for unknown names.
+/// Names of the unsound twins ("unsafe-dce", ...), for twin-firing
+/// campaigns. Derived from passRegistry().
+const std::vector<std::string> &unsafePassNames();
+
+/// Creates a pass by CLI name — any entry of verifiedPassNames(), "linv",
+/// or an unsafePassNames() twin (for the fuzzer's demonstrate-the-oracle
+/// mode). Returns null for unknown names. Derived from passRegistry().
 std::unique_ptr<Pass> createPassByName(const std::string &Name);
 
 } // namespace psopt

@@ -1,0 +1,166 @@
+//===- opt/Reorder.cpp - Adjacent-instruction reordering ------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reorder (Fig 3 / Fig 14): swaps adjacent independent instructions inside
+/// a basic block, normalizing each block toward loads-first / stores-last.
+/// Hoisting a read above a write is the paper's delayed-write direction —
+/// the write stays pending in the simulation's delayed set D until the
+/// matching source write discharges it — so every sunk store carries a
+/// fuel budget mirroring SimConfig::DelayFuel: once a store has been
+/// delayed past DelayFuel reads it stops sinking, keeping the syntactic
+/// pass inside what the Fig 14 local simulation can certify.
+///
+/// Side conditions for swapping i1; i2 into i2; i1:
+///
+///  * only Load/Store/Assign/Skip participate — CAS, print and fences are
+///    immovable (CAS may synchronize both ways, print is observable,
+///    fences order everything);
+///  * register independence: disjoint defs, and neither uses the other's
+///    def;
+///  * both memory accesses → different locations;
+///  * i1 is never an acquire load: nothing may be hoisted above an
+///    acquire (the Fig 1 restriction — the hoisted access could observe
+///    state the acquire had not yet published);
+///  * i2 is never a release store: nothing may be sunk below a release
+///    (the Fig 15 restriction — the sunk effect would be published);
+///  * a store never moves above a load (R; W → W; R needs a promise to
+///    justify the early write; only the W; R → R; W direction is a
+///    delayed write).
+///
+/// Moving a load above a *release* store, or a relaxed store above
+/// another store, is allowed: the target's message views only grow, so
+/// readers of the released message are more constrained, not less.
+///
+/// The unsafe variant drops the acquire restriction and hoists a load
+/// above an acquire load — exactly Fig 1 expressed as a peephole. It is
+/// refuted by the refinement oracle on the message-passing skeleton.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+#include <vector>
+
+namespace psopt {
+
+static Statistic NumSwapped("reorder", "swapped", "adjacent pairs reordered");
+
+namespace {
+
+/// Rank in the loads-first normal form; an adjacent pair is swapped when
+/// the later instruction has a strictly smaller rank. Acquire loads rank
+/// above plain loads so the unsafe variant has something to hoist across;
+/// release stores rank last so nothing ever sinks below them.
+unsigned rankOf(const Instr &I) {
+  switch (I.kind()) {
+  case Instr::Kind::Load:
+    return I.readMode() == ReadMode::ACQ ? 2
+           : I.readMode() == ReadMode::RLX ? 1
+                                           : 0;
+  case Instr::Kind::Assign:
+    return 3;
+  case Instr::Kind::Skip:
+    return 4;
+  case Instr::Kind::Store:
+    return I.writeMode() == WriteMode::REL ? 6 : 5;
+  case Instr::Kind::Cas:
+  case Instr::Kind::Print:
+  case Instr::Kind::Fence:
+    break;
+  }
+  return ~0u; // immovable
+}
+
+bool movable(const Instr &I) { return rankOf(I) != ~0u; }
+
+class ReorderPass : public Pass {
+public:
+  explicit ReorderPass(bool AcquireBarrier) : AcquireBarrier(AcquireBarrier) {}
+
+  const char *name() const override {
+    return AcquireBarrier ? "reorder" : "reorder-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      for (auto &[L, B] : F.blocks())
+        runOnBlock(B.instructions());
+    return Out;
+  }
+
+private:
+  /// May i2 move in front of i1?
+  bool canSwap(const Instr &I1, const Instr &I2) const {
+    if (!movable(I1) || !movable(I2))
+      return false;
+    // Register independence.
+    std::optional<RegId> D1 = I1.definedReg();
+    std::optional<RegId> D2 = I2.definedReg();
+    if (D1 && D2 && *D1 == *D2)
+      return false;
+    if (D1 && I2.usedRegs().count(*D1))
+      return false;
+    if (D2 && I1.usedRegs().count(*D2))
+      return false;
+    // Memory independence.
+    if (I1.accessesMemory() && I2.accessesMemory() && I1.var() == I2.var())
+      return false;
+    // Never hoist across an acquire (dropped by the unsafe variant).
+    if (AcquireBarrier && I1.isLoad() && I1.readMode() == ReadMode::ACQ)
+      return false;
+    // Never sink across a release.
+    if (I2.isStore() && I2.writeMode() == WriteMode::REL)
+      return false;
+    // A store never advances above a load.
+    if (I1.isLoad() && I2.isStore())
+      return false;
+    return true;
+  }
+
+  void runOnBlock(std::vector<Instr> &Instrs) const {
+    // Delay fuel per instruction: decremented each time a store is sunk
+    // past a load. Mirrors SimConfig::DelayFuel (Fig 14's strictly
+    // decreasing delayed-write indices).
+    constexpr unsigned DelayFuel = 8;
+    std::vector<unsigned> Fuel(Instrs.size(), DelayFuel);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::size_t I = 0; I + 1 < Instrs.size(); ++I) {
+        Instr &I1 = Instrs[I];
+        Instr &I2 = Instrs[I + 1];
+        if (rankOf(I2) >= rankOf(I1) || !canSwap(I1, I2))
+          continue;
+        bool Delays = I1.isStore() && I2.isLoad();
+        if (Delays && Fuel[I] == 0)
+          continue;
+        std::swap(I1, I2);
+        std::swap(Fuel[I], Fuel[I + 1]);
+        if (Delays)
+          --Fuel[I + 1]; // the store, now at I + 1
+        ++NumSwapped;
+        Changed = true;
+      }
+    }
+  }
+
+  bool AcquireBarrier;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createReorder() {
+  return std::make_unique<ReorderPass>(true);
+}
+
+std::unique_ptr<Pass> createUnsafeReorder() {
+  return std::make_unique<ReorderPass>(false);
+}
+
+} // namespace psopt

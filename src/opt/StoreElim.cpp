@@ -1,0 +1,115 @@
+//===- opt/StoreElim.cpp - Redundant store elimination ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// RSE: kills a non-atomic store that is overwritten by a later non-atomic
+/// store to the same location within the same block — the write-side dual
+/// of DCE's Fig 15. The scan between the two stores must cross no
+///
+///  * access to the location (a load would observe the dying value; an
+///    atomic access would be a mode violation anyway);
+///  * release write or rel-side fence: a release publishes the first
+///    store's message, so a reader that acquires can demand the value the
+///    elimination removes — with the store gone the reader may see the
+///    *initial* value instead, a behavior the source does not have (the
+///    exact dual of keeping Fig 15's x := 1 live across y.rel := 1);
+///  * CAS (its write part may be a release) or print? — prints are
+///    register-only and are crossed freely; CAS is a conservative barrier.
+///
+/// Calls end the block, so terminators need no special casing.
+///
+/// The unsafe variant ignores the release boundary (stores and fences),
+/// reproducing the Fig 15 mistake on the write side. It fires on the
+/// message-passing publisher `d := 1; f.rel := 1; d := 2`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumElimStores("rse", "eliminated",
+                               "overwritten na stores eliminated");
+
+namespace {
+
+class StoreElimPass : public Pass {
+public:
+  explicit StoreElimPass(bool ReleaseBoundary)
+      : ReleaseBoundary(ReleaseBoundary) {}
+
+  const char *name() const override {
+    return ReleaseBoundary ? "rse" : "rse-unsafe";
+  }
+
+  Program run(const Program &P) const override {
+    Program Out = P;
+    for (auto &[Name, F] : Out.code())
+      for (auto &[L, B] : F.blocks())
+        runOnBlock(P, B.instructions());
+    return Out;
+  }
+
+private:
+  /// Does a later same-location na store overwrite Instrs[I] with no
+  /// intervening observer or release boundary?
+  bool overwritten(const std::vector<Instr> &Instrs, std::size_t I) const {
+    VarId X = Instrs[I].var();
+    for (std::size_t J = I + 1; J < Instrs.size(); ++J) {
+      const Instr &In = Instrs[J];
+      switch (In.kind()) {
+      case Instr::Kind::Store:
+        if (In.var() == X)
+          return In.writeMode() == WriteMode::NA;
+        if (ReleaseBoundary && In.writeMode() == WriteMode::REL)
+          return false;
+        break;
+      case Instr::Kind::Load:
+        if (In.var() == X)
+          return false;
+        break;
+      case Instr::Kind::Cas:
+        return false; // may synchronize either way: barrier
+      case Instr::Kind::Fence:
+        if (ReleaseBoundary && fenceHasRel(In.fenceMode()))
+          return false;
+        break;
+      case Instr::Kind::Assign:
+      case Instr::Kind::Skip:
+      case Instr::Kind::Print:
+        break;
+      }
+    }
+    return false;
+  }
+
+  void runOnBlock(const Program &P, std::vector<Instr> &Instrs) const {
+    for (std::size_t I = 0; I < Instrs.size(); ++I) {
+      Instr &In = Instrs[I];
+      if (!In.isStore() || In.writeMode() != WriteMode::NA ||
+          P.isAtomic(In.var()))
+        continue;
+      if (overwritten(Instrs, I)) {
+        In = Instr::makeSkip();
+        ++NumElimStores;
+      }
+    }
+  }
+
+  bool ReleaseBoundary;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createStoreElim() {
+  return std::make_unique<StoreElimPass>(true);
+}
+
+std::unique_ptr<Pass> createUnsafeStoreElim() {
+  return std::make_unique<StoreElimPass>(false);
+}
+
+} // namespace psopt

@@ -72,9 +72,13 @@ CertCacheKey makeCertCacheKey(Tid T, const ThreadState &TS,
   R.note(Time(0));
   R.noteMemory(K.Mem);
   R.noteView(K.TS.V);
+  R.noteView(K.TS.Acq);
+  R.noteView(K.TS.Rel);
   R.freeze();
   R.rewriteMemory(K.Mem);
   K.TS.V = R.mapView(K.TS.V);
+  K.TS.Acq = R.mapView(K.TS.Acq);
+  K.TS.Rel = R.mapView(K.TS.Rel);
   K.TS.invalidateHash();
   return K;
 }

@@ -74,7 +74,7 @@ CertResult certSearch(const Program &P, Tid T, const ThreadState &TS,
       return CertResult::Consistent;
 
     Succs.clear();
-    enumerateProgramSteps(P, T, Node.TS, Node.Mem, Succs);
+    enumerateProgramSteps(P, T, Node.TS, Node.Mem, Succs, CertCfg);
     enumeratePrcSteps(P, T, Node.TS, Node.Mem, EmptyDomain, CertCfg, Succs);
     for (ThreadSuccessor &S : Succs) {
       if (S.Abort)

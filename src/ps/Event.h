@@ -37,6 +37,7 @@ struct ThreadEvent {
     Read,    ///< R(or, x, v)
     Write,   ///< W(ow, x, v)
     Update,  ///< U(or, ow, x, vr, vw) from a successful CAS
+    Fence,   ///< F(of) — class AT; effects are thread-local view edits
     Promise, ///< prm
     Reserve, ///< rsv
     Cancel   ///< ccl
@@ -45,6 +46,7 @@ struct ThreadEvent {
   Kind K = Kind::Tau;
   ReadMode RM = ReadMode::NA;
   WriteMode WM = WriteMode::NA;
+  FenceMode FM = FenceMode::ACQ;
   VarId Var;
   Val ReadVal = 0;
   Val WrittenVal = 0;
@@ -82,6 +84,12 @@ struct ThreadEvent {
     E.Var = X;
     E.ReadVal = VR;
     E.WrittenVal = VW;
+    return E;
+  }
+  static ThreadEvent fence(FenceMode M) {
+    ThreadEvent E;
+    E.K = Kind::Fence;
+    E.FM = M;
     return E;
   }
   static ThreadEvent promise(VarId X, Val V) {
@@ -133,9 +141,9 @@ struct ThreadEvent {
   /// kind are default-initialized by the factories, so comparing all of
   /// them is exact (used by witness replay to match recorded schedules).
   bool operator==(const ThreadEvent &O) const {
-    return K == O.K && RM == O.RM && WM == O.WM && Var == O.Var &&
-           ReadVal == O.ReadVal && WrittenVal == O.WrittenVal &&
-           OutVal == O.OutVal;
+    return K == O.K && RM == O.RM && WM == O.WM && FM == O.FM &&
+           Var == O.Var && ReadVal == O.ReadVal &&
+           WrittenVal == O.WrittenVal && OutVal == O.OutVal;
   }
   bool operator!=(const ThreadEvent &O) const { return !(*this == O); }
 
@@ -158,6 +166,8 @@ inline std::string ThreadEvent::str() const {
     return std::string("U(") + readModeSpelling(RM) + "," +
            writeModeSpelling(WM) + "," + Var.str() + "," +
            std::to_string(ReadVal) + "," + std::to_string(WrittenVal) + ")";
+  case Kind::Fence:
+    return std::string("F(") + fenceModeSpelling(FM) + ")";
   case Kind::Promise:
     return "prm(" + Var.str() + "," + std::to_string(WrittenVal) + ")";
   case Kind::Reserve:

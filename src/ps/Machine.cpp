@@ -45,6 +45,9 @@ std::string MachineState::str() const {
 }
 
 Machine::Machine(const Program &Prog, StepConfig C) : P(&Prog), Cfg(C) {
+  // The acquire-view gate is a property of the program, not a caller
+  // choice: fence-free programs keep their exact pre-fence state graphs.
+  Cfg.TrackAcqView = programHasAcquireFence(Prog);
   if (Cfg.EnableCertCache)
     Cert = std::make_unique<CertCache>();
   // Initial memory covers every referenced variable plus declared atomics,
@@ -75,7 +78,7 @@ void Machine::liftThreadSuccessors(const MachineState &S, Tid T,
                                    bool AllowPromiseReserve, bool TrackNP,
                                    std::vector<MachineSuccessor> &Out) const {
   std::vector<ThreadSuccessor> Succs;
-  enumerateProgramSteps(*P, T, S.Threads[T], S.Mem, Succs);
+  enumerateProgramSteps(*P, T, S.Threads[T], S.Mem, Succs, Cfg);
   enumeratePrcSteps(*P, T, S.Threads[T], S.Mem, Domains[T], Cfg, Succs);
 
   for (ThreadSuccessor &TSucc : Succs) {

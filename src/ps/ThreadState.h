@@ -22,21 +22,35 @@ namespace psopt {
 
 /// TS = (σ, V); P is recovered from the memory via ownership marks.
 ///
-/// hash() is memoized; code that mutates Local or V on a ThreadState whose
-/// hash may already have been taken (i.e. one copied from a visited state
-/// rather than freshly built) must call invalidateHash().
+/// Two auxiliary views support fences (PS1.0 style; the paper's fragment
+/// has none):
+///  * Acq accumulates the message views of relaxed reads; `fence.acq`
+///    joins it into V and resets it. It is only maintained when the
+///    program contains an acquire-side fence (StepConfig::TrackAcqView),
+///    so fence-free programs keep their exact pre-fence state graphs.
+///  * Rel snapshots V at a `fence.rel`; subsequent na/rlx messages and
+///    promises carry it as their message view. It stays ⊥ in fence-free
+///    programs (only fences write it), so no gate is needed.
+///
+/// hash() is memoized; code that mutates Local or a view on a ThreadState
+/// whose hash may already have been taken (i.e. one copied from a visited
+/// state rather than freshly built) must call invalidateHash().
 struct ThreadState {
   LocalState Local;
   View V;
+  View Acq;
+  View Rel;
 
   bool operator==(const ThreadState &O) const {
-    return Local == O.Local && V == O.V;
+    return Local == O.Local && V == O.V && Acq == O.Acq && Rel == O.Rel;
   }
 
   std::size_t hash() const {
     return memoizedHash(HashCache, [this] {
       std::size_t Seed = Local.hash();
       hashCombine(Seed, V.hash());
+      hashCombine(Seed, Acq.hash());
+      hashCombine(Seed, Rel.hash());
       return hashFinalize(Seed);
     });
   }

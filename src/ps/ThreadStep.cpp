@@ -17,6 +17,7 @@ struct StepBuilder {
   Tid T;
   const ThreadState &TS;
   const Memory &M;
+  const StepConfig &C;
   std::vector<ThreadSuccessor> &Out;
 
   void abortStep() {
@@ -28,13 +29,18 @@ struct StepBuilder {
     Out.push_back(std::move(S));
   }
 
-  /// Emits a successor that advanced σ past the current instruction.
+  /// Emits a successor that advanced σ past the current instruction. The
+  /// fence views carry over unchanged (only fences and — under
+  /// TrackAcqView — relaxed reads edit them; those build successors by
+  /// hand).
   void emitAdvanced(ThreadEvent Ev, View NewV, Memory NewM) {
     ThreadSuccessor S;
     S.Ev = std::move(Ev);
     S.TS.Local = TS.Local;
     S.TS.Local.advance();
     S.TS.V = std::move(NewV);
+    S.TS.Acq = TS.Acq;
+    S.TS.Rel = TS.Rel;
     S.Mem = std::move(NewM);
     Out.push_back(std::move(S));
   }
@@ -67,6 +73,12 @@ struct StepBuilder {
       S.TS.Local.regs().set(I.dest(), Msg->Value);
       S.TS.Local.advance();
       S.TS.V = std::move(NewV);
+      S.TS.Acq = TS.Acq;
+      // A relaxed read banks the message view for a later acquire fence
+      // (C11: the fence upgrades preceding relaxed reads to acquire).
+      if (C.TrackAcqView && RM == ReadMode::RLX)
+        S.TS.Acq.join(Msg->MsgView);
+      S.TS.Rel = TS.Rel;
       S.Mem = M;
       Out.push_back(std::move(S));
     }
@@ -93,8 +105,9 @@ struct StepBuilder {
       NewV.joinNaAt(X, Pl.To);
       NewV.joinRlxAt(X, Pl.To);
       // Release writes carry the (updated) thread view as the message view;
-      // na/rlx messages carry V⊥ (§3).
-      View MsgView = WM == WriteMode::REL ? NewV : View{};
+      // na/rlx messages carry the release-fence snapshot Rel (V⊥ in
+      // fence-free programs — §3's rule exactly).
+      View MsgView = WM == WriteMode::REL ? NewV : TS.Rel;
       Memory NewM = M;
       NewM.insert(Message::concrete(X, V, Pl.From, Pl.To, std::move(MsgView)));
       emitAdvanced(ThreadEvent::write(WM, X, V), std::move(NewV),
@@ -113,7 +126,10 @@ struct StepBuilder {
         NewV.joinNaAt(X, Prm->To);
         NewV.joinRlxAt(X, Prm->To);
         Memory NewM = M;
-        NewM.fulfillPromise(X, Prm->To, View{});
+        // Rel cannot have changed since the promise was made (release
+        // fences block while promises are outstanding), so the fulfilled
+        // message keeps the view the promise was created with.
+        NewM.fulfillPromise(X, Prm->To, TS.Rel);
         emitAdvanced(ThreadEvent::write(WM, X, V), std::move(NewV),
                      std::move(NewM));
       }
@@ -146,6 +162,10 @@ struct StepBuilder {
         S.TS.Local.regs().set(I.dest(), 0);
         S.TS.Local.advance();
         S.TS.V = std::move(NewV);
+        S.TS.Acq = TS.Acq;
+        if (C.TrackAcqView && RM == ReadMode::RLX)
+          S.TS.Acq.join(Msg->MsgView);
+        S.TS.Rel = TS.Rel;
         S.Mem = M;
         Out.push_back(std::move(S));
         continue;
@@ -166,7 +186,7 @@ struct StepBuilder {
       // Write part.
       NewV.joinNaAt(X, Pl->To);
       NewV.joinRlxAt(X, Pl->To);
-      View MsgView = WM == WriteMode::REL ? NewV : View{};
+      View MsgView = WM == WriteMode::REL ? NewV : TS.Rel;
       Memory NewM = M;
       NewM.insert(
           Message::concrete(X, Desired, Pl->From, Pl->To, std::move(MsgView)));
@@ -176,21 +196,53 @@ struct StepBuilder {
       S.TS.Local.regs().set(I.dest(), 1);
       S.TS.Local.advance();
       S.TS.V = std::move(NewV);
+      S.TS.Acq = TS.Acq;
+      if (C.TrackAcqView && RM == ReadMode::RLX)
+        S.TS.Acq.join(Msg->MsgView);
+      S.TS.Rel = TS.Rel;
       S.Mem = std::move(NewM);
       Out.push_back(std::move(S));
     }
+  }
+
+  void fence(const Instr &I) {
+    FenceMode FM = I.fenceMode();
+    // Release-side fences require the thread's promise set empty (PS1.0
+    // style): a thread may not run ahead of its own unfulfilled promises
+    // past a release fence. The step is simply disabled until the promises
+    // are fulfilled; certification inherits the rule through this same
+    // function, so no thread can *promise* across a release fence either
+    // (the certification run could never execute the fence).
+    if (fenceHasRel(FM) && M.hasConcretePromises(T))
+      return;
+    ThreadSuccessor S;
+    S.Ev = ThreadEvent::fence(FM);
+    S.TS.Local = TS.Local;
+    S.TS.Local.advance();
+    S.TS.V = TS.V;
+    S.TS.Acq = TS.Acq;
+    S.TS.Rel = TS.Rel;
+    if (fenceHasAcq(FM)) {
+      // Publish the banked relaxed-read views into V and reset the bank.
+      S.TS.V.join(S.TS.Acq);
+      S.TS.Acq = View{};
+    }
+    if (fenceHasRel(FM))
+      S.TS.Rel = S.TS.V; // Snapshot for later na/rlx messages and promises.
+    S.Mem = M;
+    Out.push_back(std::move(S));
   }
 };
 
 } // namespace
 
 void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
-                           const Memory &M,
-                           std::vector<ThreadSuccessor> &Out) {
+                           const Memory &M, std::vector<ThreadSuccessor> &Out,
+                           const StepConfig &C) {
   if (TS.Local.isTerminated())
     return;
 
-  StepBuilder B{P, T, TS, M, Out};
+  StepBuilder B{P, T, TS, M, C, Out};
   const Instr *I = TS.Local.currentInstr(P);
 
   if (!I) {
@@ -222,6 +274,8 @@ void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
     S.TS.Local.regs().set(I->dest(), I->expr()->eval(TS.Local.regs()));
     S.TS.Local.advance();
     S.TS.V = TS.V;
+    S.TS.Acq = TS.Acq;
+    S.TS.Rel = TS.Rel;
     S.Mem = M;
     Out.push_back(std::move(S));
     return;
@@ -241,8 +295,24 @@ void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
   case Instr::Kind::Cas:
     B.cas(*I);
     return;
+  case Instr::Kind::Fence:
+    B.fence(*I);
+    return;
   }
   PSOPT_UNREACHABLE("bad instruction kind");
+}
+
+bool programHasAcquireFence(const Program &P) {
+  for (const auto &[Name, F] : P.code()) {
+    (void)Name;
+    for (const auto &[L, B] : F.blocks()) {
+      (void)L;
+      for (const Instr &I : B.instructions())
+        if (I.isFence() && fenceHasAcq(I.fenceMode()))
+          return true;
+    }
+  }
+  return false;
 }
 
 void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
@@ -267,7 +337,11 @@ void enumeratePrcSteps(const Program & /*P*/, Tid T, const ThreadState &TS,
       for (Val V : D.Values) {
         for (const Placement &Pl :
              M.enumeratePlacements(X, TS.V.rlxAt(X))) {
-          Message Msg = Message::concrete(X, V, Pl.From, Pl.To, View{});
+          // Promised messages carry the thread's release-fence snapshot,
+          // matching the view the eventual fulfilling write would attach
+          // (Rel is frozen while the promise is outstanding: release
+          // fences block on a non-empty promise set).
+          Message Msg = Message::concrete(X, V, Pl.From, Pl.To, TS.Rel);
           Msg.Owner = T;
           Msg.IsPromise = true;
           ThreadSuccessor S;

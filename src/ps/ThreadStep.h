@@ -42,9 +42,16 @@ struct ThreadSuccessor {
 };
 
 /// Enumerates all instruction/terminator steps of thread \p T.
-/// Terminated threads have no steps.
+/// Terminated threads have no steps. \p C carries the semantic knobs the
+/// step relation itself consumes (today just TrackAcqView); machines pass
+/// their own config, direct callers may rely on the fence-free default.
 void enumerateProgramSteps(const Program &P, Tid T, const ThreadState &TS,
-                           const Memory &M, std::vector<ThreadSuccessor> &Out);
+                           const Memory &M, std::vector<ThreadSuccessor> &Out,
+                           const StepConfig &C = StepConfig{});
+
+/// True when any instruction of \p P is a fence with an acquire component.
+/// Machines use this to switch on StepConfig::TrackAcqView.
+bool programHasAcquireFence(const Program &P);
 
 /// Enumerates promise/reserve/cancel steps of thread \p T under the given
 /// bounds. Terminated threads have no PRC steps (they could never fulfil).

@@ -86,7 +86,12 @@ public:
   Checker(const Program &Tgt, const Program &Src, const Invariant &I,
           const std::vector<EnvAction> &Env, const SimConfig &C)
       : Tgt(Tgt), Src(Src), Inv(I), Env(Env), Cfg(C),
-        Atomics(Tgt.atomics()) {}
+        Atomics(Tgt.atomics()) {
+    // Both sides must step under the same view-tracking regime, or a fence
+    // on one side would (not) bank acquire views the other side does.
+    StepCfg.TrackAcqView =
+        programHasAcquireFence(Tgt) || programHasAcquireFence(Src);
+  }
 
   SimResult run(FuncId F) {
     SimResult R;
@@ -174,7 +179,7 @@ private:
       return matchTermination(N);
 
     std::vector<ThreadSuccessor> TgtSteps;
-    enumerateProgramSteps(Tgt, 0, N.TSt, N.Mt, TgtSteps);
+    enumerateProgramSteps(Tgt, 0, N.TSt, N.Mt, TgtSteps, StepCfg);
     if (Cfg.TargetPromises) {
       StepConfig SC;
       SC.EnablePromises = true;
@@ -230,7 +235,7 @@ private:
       for (std::size_t I = Frontier; I < End; ++I) {
         SrcState Cur = Out[I]; // copy: Out may reallocate
         std::vector<ThreadSuccessor> Steps;
-        enumerateProgramSteps(Src, 0, Cur.TSs, Cur.Ms, Steps);
+        enumerateProgramSteps(Src, 0, Cur.TSs, Cur.Ms, Steps, StepCfg);
         for (ThreadSuccessor &S : Steps) {
           if (S.Abort || !S.Ev.isNA())
             continue;
@@ -321,7 +326,7 @@ private:
              Base.TSt, Base.Mt, N.TSs, N.Ms, Base.Phi, Base.D,
              Base.SwitchAllowed, Base.EnvMask})) {
       std::vector<ThreadSuccessor> Steps;
-      enumerateProgramSteps(Src, 0, S.TSs, S.Ms, Steps);
+      enumerateProgramSteps(Src, 0, S.TSs, S.Ms, Steps, StepCfg);
       for (ThreadSuccessor &SS : Steps) {
         if (SS.Abort || !sameEvent(Ev, SS.Ev))
           continue;
@@ -397,6 +402,8 @@ private:
     case ThreadEvent::Kind::Update:
       return A.RM == B.RM && A.WM == B.WM && A.Var == B.Var &&
              A.ReadVal == B.ReadVal && A.WrittenVal == B.WrittenVal;
+    case ThreadEvent::Kind::Fence:
+      return A.FM == B.FM;
     default:
       return false;
     }
@@ -407,6 +414,7 @@ private:
   const Invariant &Inv;
   const std::vector<EnvAction> &Env;
   SimConfig Cfg;
+  StepConfig StepCfg;
   std::set<VarId> Atomics;
   PromiseDomain TgtDomain, SrcDomain;
   std::unordered_map<SimNode, Status, SimNodeHash> Memo;

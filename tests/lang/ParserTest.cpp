@@ -110,6 +110,29 @@ TEST(ParserTest, ErrorVariableUsedAsRegister) {
   EXPECT_FALSE(R.ok());
 }
 
+TEST(ParserTest, FenceForms) {
+  ParseResult R = parseProgram(R"(
+    func f { block 0: fence.acq; fence.rel; fence.acqrel; ret; }
+    thread f;
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const BasicBlock &B = R.Prog->function(FuncId("f")).block(0);
+  ASSERT_EQ(B.size(), 3u);
+  for (const Instr &I : B.instructions())
+    EXPECT_TRUE(I.isFence());
+  EXPECT_EQ(B.instructions()[0].fenceMode(), FenceMode::ACQ);
+  EXPECT_EQ(B.instructions()[1].fenceMode(), FenceMode::REL);
+  EXPECT_EQ(B.instructions()[2].fenceMode(), FenceMode::ACQREL);
+}
+
+TEST(ParserTest, ErrorBadFenceMode) {
+  ParseResult R = parseProgram(R"(
+    func f { block 0: fence.na; ret; }
+    thread f;
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
 TEST(ParserTest, ErrorBadMode) {
   ParseResult R = parseProgram(R"(
     var x atomic;

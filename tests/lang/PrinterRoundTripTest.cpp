@@ -58,6 +58,9 @@ TEST(PrinterRoundTripTest, RandomPrograms) {
     C.LoopInvariantLoad = Seed % 2 == 0;
     C.PrintLoadedRegs = Seed % 2 == 1;
     C.MpSkeletonPercent = Seed % 2 == 0 ? 100 : 0;
+    C.FenceMpPercent = (Seed * 11) % 101;
+    C.FencePercent = (Seed * 17) % 40;
+    C.ReorderBaitPercent = (Seed * 23) % 101;
     expectRoundTrip(generateRandomProgram(C),
                     "seed " + std::to_string(C.Seed));
   }

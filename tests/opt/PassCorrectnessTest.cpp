@@ -28,15 +28,10 @@ struct SweepParam {
 class PassLitmusSweep : public ::testing::TestWithParam<SweepParam> {};
 
 std::unique_ptr<Pass> makePass(const std::string &Name) {
-  if (Name == "constprop")
-    return createConstProp();
-  if (Name == "dce")
-    return createDCE();
-  if (Name == "cse")
-    return createCSE();
-  if (Name == "licm")
-    return createLICM();
-  PSOPT_UNREACHABLE("unknown pass in sweep");
+  std::unique_ptr<Pass> P = createPassByName(Name);
+  if (!P)
+    PSOPT_UNREACHABLE("unknown pass in sweep");
+  return P;
 }
 
 TEST_P(PassLitmusSweep, RefinesAndPreservesWwRF) {
@@ -48,7 +43,12 @@ TEST_P(PassLitmusSweep, RefinesAndPreservesWwRF) {
 INSTANTIATE_TEST_SUITE_P(
     AllPassesAllLitmus, PassLitmusSweep, [] {
       std::vector<SweepParam> Params;
-      for (const char *PassName : {"constprop", "dce", "cse", "licm"}) {
+      // Every registry pass in the refinement sweep, by CLI name.
+      std::vector<std::string> PassNames;
+      for (const PassInfo &Info : passRegistry())
+        if (Info.InRefinementSweep)
+          PassNames.push_back(Info.Name);
+      for (const std::string &PassName : PassNames) {
         for (const LitmusTest &T : allLitmusTests()) {
           // Def 6.4 assumes ww-RF sources; skip the deliberately racy one.
           if (!T.IsWWRaceFree)
@@ -62,16 +62,11 @@ INSTANTIATE_TEST_SUITE_P(
       return I.param.PassName + "_" + I.param.LitmusName;
     });
 
-// Vertical composition (§2.6): chaining all four optimizers is still
+// Vertical composition (§2.6): chaining every verified optimizer is still
 // correct — each pass preserves ww-RF, so the next pass's precondition
 // holds (Lm 6.2).
-TEST(PassCompositionTest, AllFourComposed) {
-  std::vector<std::unique_ptr<Pass>> Ps;
-  Ps.push_back(createConstProp());
-  Ps.push_back(createCSE());
-  Ps.push_back(createDCE());
-  Ps.push_back(createLICM());
-  PassPipeline Pipeline("all", std::move(Ps));
+TEST(PassCompositionTest, AllVerifiedComposed) {
+  PassPipeline Pipeline("all", createAllVerifiedPasses());
   for (const char *Name : {"fig15_src", "fig16_src", "fig1_acq_src",
                            "fig5_src", "mp_rel_acq", "spinlock"}) {
     const LitmusTest &T = litmus(Name);

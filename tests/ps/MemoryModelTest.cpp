@@ -142,5 +142,72 @@ TEST(MemoryModelTest, ReleasesAreticPerLocation) {
   EXPECT_TRUE(B.hasDone({0})); // b's release says nothing about d
 }
 
+// Fence-based message passing (PS1.0-style fences): fence.rel attaches the
+// publisher's view to the later relaxed flag store, and the reader's
+// fence.acq publishes the view its relaxed flag read banked. The stale
+// read flag=1, payload=0 is forbidden — exactly rel/acq MP, via fences.
+TEST(MemoryModelTest, FenceMpForbidsStaleRead) {
+  Program P = parseProgramOrDie(R"(var d; var a atomic;
+    func t0 { block 0: d.na := 1; fence.rel; a.rlx := 1; ret; }
+    func t1 { block 0: r := a.rlx; fence.acq; r2 := d.na;
+                       print((r * 10) + r2); ret; }
+    thread t0; thread t1;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({11}));  // synchronized pass-through
+  EXPECT_FALSE(B.hasDone({10})); // stale payload after the fences: never
+}
+
+// Drop either fence and the stale read appears — both sides are
+// load-bearing (this is what FenceWeaken's side conditions protect).
+TEST(MemoryModelTest, FenceMpNeedsBothFences) {
+  const char *NoAcq = R"(var d; var a atomic;
+    func t0 { block 0: d.na := 1; fence.rel; a.rlx := 1; ret; }
+    func t1 { block 0: r := a.rlx; r2 := d.na;
+                       print((r * 10) + r2); ret; }
+    thread t0; thread t1;)";
+  const char *NoRel = R"(var d; var a atomic;
+    func t0 { block 0: d.na := 1; a.rlx := 1; ret; }
+    func t1 { block 0: r := a.rlx; fence.acq; r2 := d.na;
+                       print((r * 10) + r2); ret; }
+    thread t0; thread t1;)";
+  for (const char *Src : {NoAcq, NoRel}) {
+    BehaviorSet B = exploreInterleaving(parseProgramOrDie(Src));
+    ASSERT_TRUE(B.Exhausted);
+    EXPECT_TRUE(B.hasDone({10})) << Src;
+  }
+}
+
+// An acqrel fence acts as both sides at once.
+TEST(MemoryModelTest, AcqrelFenceSynchronizesBothWays) {
+  Program P = parseProgramOrDie(R"(var d; var a atomic;
+    func t0 { block 0: d.na := 1; fence.acqrel; a.rlx := 1; ret; }
+    func t1 { block 0: r := a.rlx; fence.acqrel; r2 := d.na;
+                       print((r * 10) + r2); ret; }
+    thread t0; thread t1;)");
+  BehaviorSet B = exploreInterleaving(P);
+  ASSERT_TRUE(B.Exhausted);
+  EXPECT_TRUE(B.hasDone({11}));
+  EXPECT_FALSE(B.hasDone({10}));
+}
+
+// A fence-free program explores bit-identically whether or not the
+// acquire-view bank is tracked — the plumbing pays only when fences are
+// present (StepConfig::TrackAcqView).
+TEST(MemoryModelTest, AcqViewTrackingIsFreeWithoutFences) {
+  Program P = parseProgramOrDie(R"(var d; var a atomic;
+    func t0 { block 0: d.na := 1; a.rel := 1; ret; }
+    func t1 { block 0: r := a.acq; r2 := d.na;
+                       print((r * 10) + r2); ret; }
+    thread t0; thread t1;)");
+  StepConfig Off;
+  StepConfig On;
+  On.TrackAcqView = true;
+  BehaviorSet A = exploreInterleaving(P, Off);
+  BehaviorSet B = exploreInterleaving(P, On);
+  ASSERT_TRUE(A.Exhausted && B.Exhausted);
+  EXPECT_TRUE(A == B);
+}
+
 } // namespace
 } // namespace psopt

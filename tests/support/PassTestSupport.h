@@ -19,6 +19,7 @@
 #include "explore/Refinement.h"
 #include "lang/Printer.h"
 #include "lang/Validate.h"
+#include "litmus/RandomProgram.h"
 #include "opt/Pass.h"
 #include "race/WWRace.h"
 
@@ -26,6 +27,7 @@
 
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace psopt {
 
@@ -54,6 +56,87 @@ inline void expectPassCorrect(const Pass &OptPass, const Program &Src,
         << OptPass.name() << " broke ww-RF: "
         << (TgtRace.Witness ? TgtRace.Witness->Description : std::string());
   }
+}
+
+/// The engine matrix the property harness sweeps: jobs 1/8 × schedule
+/// reduction on/off. All four must agree with each other on every
+/// BehaviorSet (DESIGN.md §7/§10), so a pass is only accepted when it
+/// refines under each of them.
+inline std::vector<ExploreConfig> engineMatrix() {
+  std::vector<ExploreConfig> Out;
+  for (unsigned Jobs : {1u, 8u})
+    for (bool Reduce : {true, false}) {
+      ExploreConfig EC;
+      EC.Jobs = Jobs;
+      EC.Reduce = Reduce;
+      Out.push_back(EC);
+    }
+  return Out;
+}
+
+/// expectPassCorrect, swept across the whole engine matrix: the Def 6.4
+/// refinement check must hold at jobs 1 and 8, with schedule reduction on
+/// and off. The ww-RF preservation leg runs once (it is engine-blind).
+/// Returns false when an exploration bound cut the check short — callers
+/// sweeping random programs count those, so coverage loss is never silent.
+inline bool expectPassCorrectAllEngines(const Pass &OptPass,
+                                        const Program &Src,
+                                        const StepConfig &SC = StepConfig{}) {
+  Program Tgt = OptPass.run(Src);
+  if (!isValidProgram(Tgt)) {
+    ADD_FAILURE() << OptPass.name() << " produced invalid code:\n"
+                  << printProgram(Tgt);
+    return true;
+  }
+  for (const ExploreConfig &EC : engineMatrix()) {
+    BehaviorSet SrcB = exploreInterleaving(Src, SC, EC);
+    BehaviorSet TgtB = exploreInterleaving(Tgt, SC, EC);
+    if (!SrcB.Exhausted || !TgtB.Exhausted)
+      return false; // bound hit — a behavior prefix proves nothing
+    RefinementResult R = checkRefinement(TgtB, SrcB);
+    EXPECT_TRUE(R.Holds) << OptPass.name() << " (jobs=" << EC.Jobs
+                         << " reduce=" << (EC.Reduce ? "on" : "off")
+                         << "): " << R.CounterExample << "\nsource:\n"
+                         << printProgram(Src) << "target:\n"
+                         << printProgram(Tgt);
+    if (!R.Holds)
+      return true; // one counterexample is enough; don't spam the log
+  }
+  RaceCheckResult SrcRace = checkWWRaceFreedom(Src, SC);
+  if (SrcRace.RaceFree) {
+    RaceCheckResult TgtRace = checkWWRaceFreedom(Tgt, SC);
+    EXPECT_TRUE(TgtRace.RaceFree)
+        << OptPass.name() << " broke ww-RF: "
+        << (TgtRace.Witness ? TgtRace.Witness->Description : std::string());
+  }
+  return true;
+}
+
+/// Generator shape for the pass property sweep: litmus-scale programs
+/// biased toward the message-passing idioms every pass's side conditions
+/// guard (release/acquire MP, fence-based MP, the reorder bait pair, and
+/// redundant loads for CSE), deterministic in \p Seed.
+inline RandomProgramConfig passSweepConfig(unsigned Seed) {
+  RandomProgramConfig G;
+  G.Seed = 7100u + Seed;
+  G.NumThreads = 2;
+  G.AllowLoop = Seed % 5 == 0;
+  G.InstrsPerThread = G.AllowLoop ? 2 : 3;
+  G.NumNaVars = 2 + Seed % 2;
+  G.NumAtomicVars = 1;
+  G.AllowCas = Seed % 3 == 0;
+  G.AllowBranch = !G.AllowLoop;
+  G.LoopTripCount = 2;
+  G.ExclusiveNaWriters = true; // Def 6.4 assumes ww-RF sources
+  G.AcqRelPercent = 50;
+  G.RedundancyPercent = 35;
+  G.LoopInvariantLoad = true;
+  G.PrintLoadedRegs = true;
+  G.MpSkeletonPercent = 60;
+  G.FenceMpPercent = 50;
+  G.FencePercent = 15;
+  G.ReorderBaitPercent = 40;
+  return G;
 }
 
 /// The function named "f" of \p P, for shape assertions (interned-id map

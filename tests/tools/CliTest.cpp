@@ -165,11 +165,11 @@ TEST(CliTest, FuzzVerifiedPassesReportCleanCampaign) {
 }
 
 TEST(CliTest, FuzzCatchesUnsafePassAndPrintsSeedAndPipeline) {
-  CliResult R = runCli("fuzz --runs=1 --seed=1 --passes=unsafe-dce "
+  CliResult R = runCli("fuzz --runs=1 --seed=11 --passes=unsafe-dce "
                        "--no-shrink --no-differential");
   EXPECT_EQ(R.ExitCode, 1) << R.Output;
   EXPECT_NE(R.Output.find("FAILURE[refinement]"), std::string::npos);
-  EXPECT_NE(R.Output.find("seed=1"), std::string::npos);
+  EXPECT_NE(R.Output.find("seed=11"), std::string::npos);
   EXPECT_NE(R.Output.find("pipeline=unsafe-dce"), std::string::npos);
 }
 

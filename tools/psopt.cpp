@@ -86,6 +86,13 @@ struct Options {
 };
 
 int usage() {
+  // The pass lists are derived from the registry so the usage text can
+  // never drift from what createPassByName accepts.
+  std::string PassList, UnsafeList;
+  for (const std::string &Name : verifiedPassNames())
+    PassList += (PassList.empty() ? "" : ",") + Name;
+  for (const std::string &Name : unsafePassNames())
+    UnsafeList += (UnsafeList.empty() ? "" : ",") + Name;
   std::fprintf(
       stderr,
       "usage: psopt <command> [args]\n"
@@ -93,7 +100,11 @@ int usage() {
       "           [--cert-cache=on|off] [--reduce=on|off]\n"
       "  race     <file> [--np] [--rw] [--no-promises] [--jobs=N]\n"
       "           [--cert-cache=on|off]\n"
-      "  optimize <file> --passes=constprop,dce,cse,licm,simplifycfg\n"
+      "  optimize <file> --passes=%s\n"
+      "           (also linv, and the intentionally unsound %s)\n",
+      PassList.c_str(), UnsafeList.c_str());
+  std::fprintf(
+      stderr,
       "  refine   <target> <source> [--no-promises] [--jobs=N]\n"
       "           [--cert-cache=on|off] [--reduce=on|off]\n"
       "  equiv    <file> [--no-promises] [--jobs=N] [--cert-cache=on|off]\n"
