@@ -70,14 +70,29 @@ ScaleWorkloadConfig wideConfig() {
   return C;
 }
 
+/// Mostly private *stores* instead of read-only filler: memory-mutating
+/// steps only the analysis-guided fusion can collapse. The legacy
+/// reduction (--reduce=legacy ablation) must schedule every one.
+ScaleWorkloadConfig privateStoreConfig() {
+  ScaleWorkloadConfig C;
+  C.Seed = 19;
+  C.NumThreads = 3;
+  C.FillerPerThread = 20;
+  C.PrivateStoresPerThread = 50; // ~220 instructions
+  C.Skeletons = 2;
+  C.Shape = ScaleWorkloadConfig::Mix::Mixed;
+  return C;
+}
+
 void runScale(benchmark::State &State, const ScaleWorkloadConfig &WC,
-              bool Reduce) {
+              bool Reduce, bool AnalysisFusion = true) {
   Program P = generateScaleWorkload(WC);
 
   StepConfig SC;
   SC.EnablePromises = false; // certification would dwarf the scheduling cost
   ExploreConfig EC;
   EC.Reduce = Reduce;
+  EC.AnalysisFusion = AnalysisFusion;
   EC.Jobs = static_cast<unsigned>(State.range(0));
   if (!Reduce)
     EC.MaxNodes = UnreducedCap;
@@ -147,6 +162,31 @@ void BM_ScaleWideUnreduced(benchmark::State &State) {
   runScale(State, wideConfig(), /*Reduce=*/false);
 }
 BENCHMARK(BM_ScaleWideUnreduced)->Arg(1)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The analysis-fusion ablation (--reduce=on vs --reduce=legacy vs off) on
+// the private-store workload: the reduced/legacy gap is what the static
+// footprint facts buy on memory-mutating thread-local code.
+void BM_ScalePrivateReduced(benchmark::State &State) {
+  runScale(State, privateStoreConfig(), /*Reduce=*/true);
+}
+BENCHMARK(BM_ScalePrivateReduced)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalePrivateLegacy(benchmark::State &State) {
+  runScale(State, privateStoreConfig(), /*Reduce=*/true,
+           /*AnalysisFusion=*/false);
+}
+BENCHMARK(BM_ScalePrivateLegacy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalePrivateUnreduced(benchmark::State &State) {
+  runScale(State, privateStoreConfig(), /*Reduce=*/false);
+}
+BENCHMARK(BM_ScalePrivateUnreduced)->Arg(1)->Arg(8)
     ->UseRealTime()->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 

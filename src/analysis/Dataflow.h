@@ -26,6 +26,8 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace psopt {
 
@@ -51,8 +53,49 @@ std::map<BlockLabel, Fact> solveForward(const Function &F, const Cfg &G,
     auto InIt = In.find(L);
     if (InIt == In.end())
       continue; // Not yet reached; a predecessor will enqueue it.
+    if (!F.hasBlock(L))
+      continue; // Dangling branch target (the validator's concern; the
+                // machine aborts there): no out-edges to propagate.
     Fact Out = TransferBlock(L, F.block(L), InIt->second);
     for (BlockLabel S : G.successors(L)) {
+      auto [SIt, Inserted] = In.emplace(S, Out);
+      bool Changed = Inserted || Join(SIt->second, Out);
+      if (Changed && InWork.insert(S).second)
+        Work.push_back(S);
+    }
+  }
+  return In;
+}
+
+/// Solves a forward problem whose transfer is *edge-sensitive*: a branch
+/// may push different facts down its then- and else-edges (e.g. "the flag
+/// is confirmed non-zero" only on the taken edge of `be r, L1, L2`).
+/// \p TransferEdges maps a block-entry fact to a list of
+/// (successor label, fact on that edge) pairs — one entry per CFG edge the
+/// block actually has; unknown labels are ignored.
+///
+/// Returns block-entry facts for every reachable block.
+template <typename Fact, typename JoinFn, typename TransferFn>
+std::map<BlockLabel, Fact> solveForwardEdges(const Function &F, const Cfg &G,
+                                             Fact Boundary, JoinFn Join,
+                                             TransferFn TransferEdges) {
+  std::map<BlockLabel, Fact> In;
+  In.emplace(G.entry(), std::move(Boundary));
+
+  std::deque<BlockLabel> Work(G.rpo().begin(), G.rpo().end());
+  std::set<BlockLabel> InWork(Work.begin(), Work.end());
+  while (!Work.empty()) {
+    BlockLabel L = Work.front();
+    Work.pop_front();
+    InWork.erase(L);
+    auto InIt = In.find(L);
+    if (InIt == In.end())
+      continue; // Not yet reached; a predecessor will enqueue it.
+    if (!F.hasBlock(L))
+      continue; // Dangling branch target: no out-edges to propagate.
+    std::vector<std::pair<BlockLabel, Fact>> Edges =
+        TransferEdges(L, F.block(L), InIt->second);
+    for (auto &[S, Out] : Edges) {
       auto [SIt, Inserted] = In.emplace(S, Out);
       bool Changed = Inserted || Join(SIt->second, Out);
       if (Changed && InWork.insert(S).second)

@@ -1,0 +1,305 @@
+//===- analysis/Footprint.cpp - Static access footprints ---------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+
+#include <deque>
+
+namespace psopt {
+
+OrderStrength joinStrength(OrderStrength A, OrderStrength B) {
+  if (A == B)
+    return A;
+  if (strengthLeq(A, B))
+    return B;
+  if (strengthLeq(B, A))
+    return A;
+  // The only incomparable pair is {ACQ, REL}.
+  return OrderStrength::ACQREL;
+}
+
+bool strengthLeq(OrderStrength A, OrderStrength B) {
+  if (A == B)
+    return true;
+  switch (A) {
+  case OrderStrength::None:
+    return true;
+  case OrderStrength::NA:
+    return B != OrderStrength::None;
+  case OrderStrength::RLX:
+    return B == OrderStrength::ACQ || B == OrderStrength::REL ||
+           B == OrderStrength::ACQREL;
+  case OrderStrength::ACQ:
+  case OrderStrength::REL:
+    return B == OrderStrength::ACQREL;
+  case OrderStrength::ACQREL:
+    return false;
+  }
+  return false;
+}
+
+OrderStrength strengthOfRead(ReadMode M) {
+  switch (M) {
+  case ReadMode::NA:
+    return OrderStrength::NA;
+  case ReadMode::RLX:
+    return OrderStrength::RLX;
+  case ReadMode::ACQ:
+    return OrderStrength::ACQ;
+  }
+  return OrderStrength::None;
+}
+
+OrderStrength strengthOfWrite(WriteMode M) {
+  switch (M) {
+  case WriteMode::NA:
+    return OrderStrength::NA;
+  case WriteMode::RLX:
+    return OrderStrength::RLX;
+  case WriteMode::REL:
+    return OrderStrength::REL;
+  }
+  return OrderStrength::None;
+}
+
+const char *strengthSpelling(OrderStrength S) {
+  switch (S) {
+  case OrderStrength::None:
+    return "none";
+  case OrderStrength::NA:
+    return "na";
+  case OrderStrength::RLX:
+    return "rlx";
+  case OrderStrength::ACQ:
+    return "acq";
+  case OrderStrength::REL:
+    return "rel";
+  case OrderStrength::ACQREL:
+    return "acqrel";
+  }
+  return "?";
+}
+
+bool LocAccess::join(const LocAccess &O) {
+  std::uint8_t R = ReadModes | O.ReadModes;
+  std::uint8_t W = WriteModes | O.WriteModes;
+  bool C = Cas || O.Cas;
+  bool Changed = R != ReadModes || W != WriteModes || C != Cas;
+  ReadModes = R;
+  WriteModes = W;
+  Cas = C;
+  return Changed;
+}
+
+OrderStrength LocAccess::strength() const {
+  OrderStrength S = OrderStrength::None;
+  for (ReadMode M : {ReadMode::NA, ReadMode::RLX, ReadMode::ACQ})
+    if (readsWithMode(M))
+      S = joinStrength(S, strengthOfRead(M));
+  for (WriteMode M : {WriteMode::NA, WriteMode::RLX, WriteMode::REL})
+    if (writesWithMode(M))
+      S = joinStrength(S, strengthOfWrite(M));
+  return S;
+}
+
+bool joinFootprint(Footprint &Into, const Footprint &From) {
+  bool Changed = false;
+  for (const auto &[X, A] : From) {
+    auto [It, Inserted] = Into.emplace(X, A);
+    if (Inserted)
+      Changed = true;
+    else
+      Changed |= It->second.join(A);
+  }
+  return Changed;
+}
+
+namespace {
+
+/// Records one instruction's accesses into \p FP.
+void recordAccess(Footprint &FP, const Instr &I) {
+  switch (I.kind()) {
+  case Instr::Kind::Load:
+    FP[I.var()].addRead(I.readMode());
+    break;
+  case Instr::Kind::Store:
+    FP[I.var()].addWrite(I.writeMode());
+    break;
+  case Instr::Kind::Cas: {
+    LocAccess &A = FP[I.var()];
+    A.addRead(I.readMode());
+    A.addWrite(I.writeMode());
+    A.Cas = true;
+    break;
+  }
+  case Instr::Kind::Assign:
+  case Instr::Kind::Skip:
+  case Instr::Kind::Print:
+  case Instr::Kind::Fence:
+    break;
+  }
+}
+
+/// Direct (non-transitive) footprint of \p F over reachable blocks, and
+/// the callees of those blocks. Computed with the block-level worklist
+/// solver: the fact is "accesses on some path so far", the function's
+/// footprint is the join of every reachable block's exit fact.
+Footprint localFootprint(const Function &F, std::set<FuncId> &Callees) {
+  Cfg G = Cfg::build(F);
+  auto Transfer = [](BlockLabel, const BasicBlock &B, const Footprint &In) {
+    Footprint Out = In;
+    for (const Instr &I : B.instructions())
+      recordAccess(Out, I);
+    return Out;
+  };
+  std::map<BlockLabel, Footprint> In = solveForward(
+      F, G, Footprint{},
+      [](Footprint &A, const Footprint &B) { return joinFootprint(A, B); },
+      Transfer);
+  Footprint Total;
+  for (const auto &[L, Fact] : In) {
+    if (!F.hasBlock(L))
+      continue; // dangling branch target: the machine aborts there
+    joinFootprint(Total, Transfer(L, F.block(L), Fact));
+    if (F.block(L).terminator().isCall())
+      Callees.insert(F.block(L).terminator().callee());
+  }
+  return Total;
+}
+
+} // namespace
+
+FootprintAnalysis::FootprintAnalysis(const Program &P) : P(&P) {
+  // Direct footprints and call edges per function.
+  std::map<FuncId, std::set<FuncId>> Calls;
+  std::map<FuncId, Footprint> Local;
+  for (const auto &[Name, F] : P.code())
+    Local.emplace(Name, localFootprint(F, Calls[Name]));
+
+  // Transitive closure over the call graph (handles recursion).
+  PerFunction = Local;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &[Name, FP] : PerFunction)
+      for (FuncId Callee : Calls[Name]) {
+        auto It = PerFunction.find(Callee);
+        if (It != PerFunction.end() && &It->second != &FP)
+          Changed |= joinFootprint(FP, It->second);
+      }
+  }
+
+  // Which threads may execute each function; per-thread footprints.
+  const std::vector<FuncId> &Threads = P.threads();
+  PerThread.resize(Threads.size());
+  for (Tid T = 0; T < static_cast<Tid>(Threads.size()); ++T) {
+    std::deque<FuncId> Work{Threads[T]};
+    while (!Work.empty()) {
+      FuncId F = Work.front();
+      Work.pop_front();
+      if (!FuncThreads[F].insert(T).second)
+        continue;
+      for (FuncId Callee : Calls[F])
+        if (P.hasFunction(Callee))
+          Work.push_back(Callee);
+    }
+    auto It = PerFunction.find(Threads[T]);
+    if (It != PerFunction.end())
+      PerThread[T] = It->second;
+  }
+
+  // Per-location accessor indexes.
+  for (Tid T = 0; T < static_cast<Tid>(PerThread.size()); ++T)
+    for (const auto &[X, A] : PerThread[T]) {
+      Accessors[X].insert(T);
+      if (A.writes())
+        Writers[X].insert(T);
+      if (A.reads())
+        Readers[X].insert(T);
+    }
+}
+
+const Footprint &FootprintAnalysis::functionFootprint(FuncId F) const {
+  static const Footprint Empty;
+  auto It = PerFunction.find(F);
+  return It == PerFunction.end() ? Empty : It->second;
+}
+
+const Footprint &FootprintAnalysis::threadFootprint(Tid T) const {
+  static const Footprint Empty;
+  if (T < 0 || T >= static_cast<Tid>(PerThread.size()))
+    return Empty;
+  return PerThread[T];
+}
+
+const std::set<Tid> &FootprintAnalysis::functionThreads(FuncId F) const {
+  static const std::set<Tid> Empty;
+  auto It = FuncThreads.find(F);
+  return It == FuncThreads.end() ? Empty : It->second;
+}
+
+const std::set<Tid> &FootprintAnalysis::accessingThreads(VarId X) const {
+  static const std::set<Tid> Empty;
+  auto It = Accessors.find(X);
+  return It == Accessors.end() ? Empty : It->second;
+}
+
+const std::set<Tid> &FootprintAnalysis::writingThreads(VarId X) const {
+  static const std::set<Tid> Empty;
+  auto It = Writers.find(X);
+  return It == Writers.end() ? Empty : It->second;
+}
+
+const std::set<Tid> &FootprintAnalysis::readingThreads(VarId X) const {
+  static const std::set<Tid> Empty;
+  auto It = Readers.find(X);
+  return It == Readers.end() ? Empty : It->second;
+}
+
+bool FootprintAnalysis::privateInFunction(FuncId F, VarId X) const {
+  // Without a thread list there is no "who else runs this": claim nothing.
+  if (P->threads().empty())
+    return false;
+  const std::set<Tid> &A = accessingThreads(X);
+  if (A.size() > 1)
+    return false;
+  // Every executor of F must be the (sole) accessor, so no peer of any
+  // executor can observe X. A dead function (no executors) is vacuously
+  // private; its code never runs.
+  for (Tid T : functionThreads(F))
+    if (!A.count(T))
+      return false;
+  return true;
+}
+
+std::set<VarId> FootprintAnalysis::peersWrite(Tid T) const {
+  std::set<VarId> Out;
+  for (Tid U = 0; U < static_cast<Tid>(PerThread.size()); ++U) {
+    if (U == T)
+      continue;
+    for (const auto &[X, A] : PerThread[U])
+      if (A.writes())
+        Out.insert(X);
+  }
+  return Out;
+}
+
+std::set<VarId> FootprintAnalysis::peersRead(Tid T) const {
+  std::set<VarId> Out;
+  for (Tid U = 0; U < static_cast<Tid>(PerThread.size()); ++U) {
+    if (U == T)
+      continue;
+    for (const auto &[X, A] : PerThread[U])
+      if (A.reads())
+        Out.insert(X);
+  }
+  return Out;
+}
+
+} // namespace psopt

@@ -1,0 +1,164 @@
+//===- analysis/Footprint.h - Static access footprints ----------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread, per-location static access footprints: which locations a
+/// thread may read or write, with which access modes. Footprints are
+/// computed per function by the Dataflow.h worklist solver over the Cfg
+/// (so only reachable blocks contribute) and closed transitively over the
+/// call graph; a thread's footprint is its entry function's closure.
+///
+/// Access modes are summarized in the ordering-strength lattice
+///
+///           ACQREL
+///          .      .
+///        ACQ      REL
+///          .      .
+///            RLX
+///             |
+///             NA
+///             |
+///           None
+///
+/// (na ⊑ rlx ⊑ acq/rel ⊑ acqrel, with acq and rel incomparable). The
+/// joined strength of a location's accesses feeds the lint layer's
+/// mixed-mode diagnostics; the raw read/write sets feed the schedule
+/// reducer's conflict facts (explore/Reduction.h) and the optimization
+/// passes' thread-privacy side conditions (opt/Reorder.cpp etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_FOOTPRINT_H
+#define PSOPT_ANALYSIS_FOOTPRINT_H
+
+#include "lang/Program.h"
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace psopt {
+
+/// Thread identifier — same alias as ps/Message.h declares (identical
+/// alias redeclarations are permitted), kept here so the analysis layer
+/// depends only on lang/.
+using Tid = int;
+
+/// Joined ordering strength of a location's accesses (see file comment).
+enum class OrderStrength : std::uint8_t { None, NA, RLX, ACQ, REL, ACQREL };
+
+/// Least upper bound in the strength lattice.
+OrderStrength joinStrength(OrderStrength A, OrderStrength B);
+
+/// Lattice order: is \p A ⊑ \p B?
+bool strengthLeq(OrderStrength A, OrderStrength B);
+
+/// Strength contributed by one read / one write.
+OrderStrength strengthOfRead(ReadMode M);
+OrderStrength strengthOfWrite(WriteMode M);
+
+/// Spelling for diagnostics ("na", "rlx", "acq", "rel", "acqrel").
+const char *strengthSpelling(OrderStrength S);
+
+/// One location's accesses by one function or thread (a point in the
+/// footprint lattice: mode *sets*, joined pointwise).
+struct LocAccess {
+  std::uint8_t ReadModes = 0;  ///< bit (1 << ReadMode) per observed read
+  std::uint8_t WriteModes = 0; ///< bit (1 << WriteMode) per observed write
+  bool Cas = false;            ///< accessed through a CAS (read and write)
+
+  bool reads() const { return ReadModes != 0; }
+  bool writes() const { return WriteModes != 0; }
+  bool readsWithMode(ReadMode M) const {
+    return (ReadModes & (1u << static_cast<unsigned>(M))) != 0;
+  }
+  bool writesWithMode(WriteMode M) const {
+    return (WriteModes & (1u << static_cast<unsigned>(M))) != 0;
+  }
+
+  void addRead(ReadMode M) { ReadModes |= 1u << static_cast<unsigned>(M); }
+  void addWrite(WriteMode M) { WriteModes |= 1u << static_cast<unsigned>(M); }
+
+  /// Pointwise join; returns true when this changed.
+  bool join(const LocAccess &O);
+
+  /// Joined strength over every access of the location.
+  OrderStrength strength() const;
+
+  bool operator==(const LocAccess &O) const {
+    return ReadModes == O.ReadModes && WriteModes == O.WriteModes &&
+           Cas == O.Cas;
+  }
+};
+
+/// A footprint: location → joined access summary.
+using Footprint = std::map<VarId, LocAccess>;
+
+/// Joins \p From into \p Into pointwise; returns true when \p Into changed.
+bool joinFootprint(Footprint &Into, const Footprint &From);
+
+/// Whole-program footprint analysis. Immutable after construction; the
+/// Reducer and the passes share one instance per program.
+class FootprintAnalysis {
+public:
+  explicit FootprintAnalysis(const Program &P);
+
+  const Program &program() const { return *P; }
+
+  /// Transitive footprint of function \p F: its own reachable accesses
+  /// plus those of every function it may call. Empty for unknown names.
+  const Footprint &functionFootprint(FuncId F) const;
+
+  /// Transitive footprint of thread \p T's entry function.
+  const Footprint &threadFootprint(Tid T) const;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(PerThread.size());
+  }
+
+  /// Threads that may execute \p F (as entry or through calls).
+  const std::set<Tid> &functionThreads(FuncId F) const;
+
+  /// Threads whose footprint touches \p X at all.
+  const std::set<Tid> &accessingThreads(VarId X) const;
+
+  /// Threads whose footprint writes \p X (store, CAS, and with it the
+  /// promise machinery — promise domains are subsets of store targets).
+  const std::set<Tid> &writingThreads(VarId X) const;
+
+  /// Threads whose footprint reads \p X (load or CAS).
+  const std::set<Tid> &readingThreads(VarId X) const;
+
+  /// True when \p X is provably thread-private from \p F's point of view:
+  /// at most one thread ever touches \p X, and every thread that can
+  /// execute \p F is that thread (so a rewrite of \p F commutes with no
+  /// peer's view of \p X). Programs with no declared threads get no
+  /// privacy facts — the footprint cannot know who runs the code.
+  bool privateInFunction(FuncId F, VarId X) const;
+
+  /// Union of every *other* thread's written locations — the conflict
+  /// fact behind the reducer's exclusive reads.
+  std::set<VarId> peersWrite(Tid T) const;
+
+  /// Union of every *other* thread's read locations — the conflict fact
+  /// behind the reducer's exclusive writes.
+  std::set<VarId> peersRead(Tid T) const;
+
+private:
+  const Program *P;
+  std::map<FuncId, Footprint> PerFunction; ///< transitive, reachable blocks
+  std::vector<Footprint> PerThread;        ///< indexed by thread id
+  std::map<FuncId, std::set<Tid>> FuncThreads;
+  std::map<VarId, std::set<Tid>> Accessors;
+  std::map<VarId, std::set<Tid>> Writers;
+  std::map<VarId, std::set<Tid>> Readers;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_FOOTPRINT_H

@@ -1,0 +1,343 @@
+//===- analysis/Lint.cpp - Static diagnostics over a program -----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "opt/Pass.h"
+
+#include <sstream>
+
+namespace psopt {
+
+namespace {
+
+/// Global per-location access summary: join of every thread's footprint,
+/// falling back to every function's when the program declares no threads
+/// (lint still works on bare code heaps).
+Footprint globalFootprint(const FootprintAnalysis &FA) {
+  Footprint Out;
+  if (FA.threadCount() != 0) {
+    for (Tid T = 0; T < static_cast<Tid>(FA.threadCount()); ++T)
+      joinFootprint(Out, FA.threadFootprint(T));
+  } else {
+    for (const auto &[Name, F] : FA.program().code()) {
+      (void)F;
+      joinFootprint(Out, FA.functionFootprint(Name));
+    }
+  }
+  return Out;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Race-candidate orientation labels ("rw", "ww", or both).
+std::string kindLabel(const RaceCandidate &C) {
+  std::string K;
+  if (C.MayRW)
+    K += "rw";
+  if (C.MayWW) {
+    if (!K.empty())
+      K += "+";
+    K += "ww";
+  }
+  return K.empty() ? "none" : K;
+}
+
+void appendModes(std::ostringstream &OS, const LocAccess &A) {
+  OS << "reads{";
+  bool First = true;
+  for (ReadMode M : {ReadMode::NA, ReadMode::RLX, ReadMode::ACQ})
+    if (A.readsWithMode(M)) {
+      OS << (First ? "" : ",") << readModeSpelling(M);
+      First = false;
+    }
+  OS << "} writes{";
+  First = true;
+  for (WriteMode M : {WriteMode::NA, WriteMode::RLX, WriteMode::REL})
+    if (A.writesWithMode(M)) {
+      OS << (First ? "" : ",") << writeModeSpelling(M);
+      First = false;
+    }
+  OS << "}";
+  if (A.Cas)
+    OS << " cas";
+}
+
+void jsonModes(std::ostringstream &OS, const LocAccess &A) {
+  OS << "{\"reads\":[";
+  bool First = true;
+  for (ReadMode M : {ReadMode::NA, ReadMode::RLX, ReadMode::ACQ})
+    if (A.readsWithMode(M)) {
+      OS << (First ? "" : ",") << "\"" << readModeSpelling(M) << "\"";
+      First = false;
+    }
+  OS << "],\"writes\":[";
+  First = true;
+  for (WriteMode M : {WriteMode::NA, WriteMode::RLX, WriteMode::REL})
+    if (A.writesWithMode(M)) {
+      OS << (First ? "" : ",") << "\"" << writeModeSpelling(M) << "\"";
+      First = false;
+    }
+  OS << "],\"cas\":" << (A.Cas ? "true" : "false") << "}";
+}
+
+} // namespace
+
+LintReport::LintReport(const Program &P)
+    : Prog(P), FA(Prog), SR(FA) {
+  // Dominated/trailing fences: run the optimizer and diff positionally.
+  // FenceWeaken rewrites in place (fence → skip, or fence → weaker
+  // fence), so indices line up by construction.
+  Program Weakened = createFenceWeaken()->run(Prog);
+  for (const auto &[Name, F] : Prog.code()) {
+    const Function &WF = Weakened.function(Name);
+    for (const auto &[L, B] : F.blocks()) {
+      const BasicBlock &WB = WF.block(L);
+      for (unsigned I = 0; I < B.size(); ++I) {
+        const Instr &Old = B.instructions()[I];
+        const Instr &New = WB.instructions()[I];
+        if (!Old.isFence() || Old == New)
+          continue;
+        FenceFinding FF;
+        FF.Func = Name;
+        FF.Block = L;
+        FF.Index = I;
+        FF.Orig = Old.fenceMode();
+        if (New.isFence()) {
+          FF.Demoted = New.fenceMode();
+        } else {
+          FF.Dropped = true;
+        }
+        Fences.push_back(FF);
+      }
+    }
+  }
+
+  // Mixed-mode atomics: more than one atomic read mode, or more than one
+  // atomic write mode, anywhere in the program (CAS modes included via
+  // the footprint). Non-atomic locations are the validator's business.
+  Footprint Global = globalFootprint(FA);
+  for (VarId X : Prog.atomics()) {
+    auto It = Global.find(X);
+    if (It == Global.end())
+      continue;
+    const LocAccess &A = It->second;
+    MixedModeFinding M;
+    M.Var = X;
+    for (ReadMode R : {ReadMode::RLX, ReadMode::ACQ})
+      if (A.readsWithMode(R))
+        M.Reads.push_back(R);
+    for (WriteMode W : {WriteMode::RLX, WriteMode::REL})
+      if (A.writesWithMode(W))
+        M.Writes.push_back(W);
+    if (M.Reads.size() > 1 || M.Writes.size() > 1)
+      Mixed.push_back(std::move(M));
+  }
+
+  // Never-read atomics: the value can never be observed.
+  for (VarId X : Prog.atomics()) {
+    auto It = Global.find(X);
+    if (It != Global.end() && It->second.reads())
+      continue;
+    NeverReadFinding N;
+    N.Var = X;
+    N.Written = It != Global.end() && It->second.writes();
+    NeverRead.push_back(N);
+  }
+}
+
+std::string LintReport::renderText() const {
+  std::ostringstream OS;
+  OS << "lint: " << Prog.threadCount() << " thread"
+     << (Prog.threadCount() == 1 ? "" : "s") << ", " << Prog.atomics().size()
+     << " atomic" << (Prog.atomics().size() == 1 ? "" : "s") << "\n";
+
+  for (const RaceCandidate &C : SR.candidates()) {
+    OS << "race-candidate[" << kindLabel(C) << "]: " << C.Var.str()
+       << " — thread " << C.A << " (";
+    appendModes(OS, C.AAccess);
+    OS << ") vs thread " << C.B << " (";
+    appendModes(OS, C.BAccess);
+    OS << ")\n";
+  }
+  for (const SyncOrder &SO : SR.syncOrders()) {
+    OS << "sync-order: flag " << SO.Flag.str() << " — thread "
+       << SO.Publisher << " publishes {";
+    bool First = true;
+    for (VarId X : SO.Published) {
+      OS << (First ? "" : ", ") << X.str();
+      First = false;
+    }
+    OS << "}";
+    for (const auto &[Q, G] : SO.Guarded) {
+      OS << "; thread " << Q << " confirms {";
+      First = true;
+      for (VarId X : G) {
+        OS << (First ? "" : ", ") << X.str();
+        First = false;
+      }
+      OS << "}";
+    }
+    OS << "\n";
+  }
+  for (const MixedModeFinding &M : Mixed) {
+    OS << "mixed-mode: " << M.Var.str() << " read modes {";
+    bool First = true;
+    for (ReadMode R : M.Reads) {
+      OS << (First ? "" : ", ") << readModeSpelling(R);
+      First = false;
+    }
+    OS << "} write modes {";
+    First = true;
+    for (WriteMode W : M.Writes) {
+      OS << (First ? "" : ", ") << writeModeSpelling(W);
+      First = false;
+    }
+    OS << "}\n";
+  }
+  for (const FenceFinding &F : Fences) {
+    OS << "dominated-fence: " << F.Func.str() << "." << F.Block << "["
+       << F.Index << "] fence." << fenceModeSpelling(F.Orig);
+    if (F.Dropped)
+      OS << " is redundant (drop)";
+    else
+      OS << " over-synchronizes (demote to fence."
+         << fenceModeSpelling(F.Demoted) << ")";
+    OS << "\n";
+  }
+  for (const NeverReadFinding &N : NeverRead) {
+    OS << "never-read-atomic: " << N.Var.str()
+       << (N.Written ? " is written but never read" : " is never accessed")
+       << "\n";
+  }
+
+  OS << "summary: " << SR.candidates().size() << " race candidate"
+     << (SR.candidates().size() == 1 ? "" : "s") << ", "
+     << Mixed.size() << " mixed-mode, " << Fences.size()
+     << " dominated fence" << (Fences.size() == 1 ? "" : "s") << ", "
+     << NeverRead.size() << " never-read atomic"
+     << (NeverRead.size() == 1 ? "" : "s") << "\n";
+  return OS.str();
+}
+
+std::string LintReport::renderJson() const {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"program\": {\"threads\": " << Prog.threadCount()
+     << ", \"atomics\": [";
+  bool First = true;
+  for (VarId X : Prog.atomics()) {
+    OS << (First ? "" : ", ") << "\"" << jsonEscape(X.str()) << "\"";
+    First = false;
+  }
+  OS << "]},\n";
+
+  OS << "  \"race_candidates\": [";
+  First = true;
+  for (const RaceCandidate &C : SR.candidates()) {
+    OS << (First ? "" : ",") << "\n    {\"var\": \""
+       << jsonEscape(C.Var.str()) << "\", \"threads\": [" << C.A << ", "
+       << C.B << "], \"kind\": \"" << kindLabel(C) << "\", \"first\": ";
+    jsonModes(OS, C.AAccess);
+    OS << ", \"second\": ";
+    jsonModes(OS, C.BAccess);
+    OS << "}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "],\n";
+
+  OS << "  \"sync_orders\": [";
+  First = true;
+  for (const SyncOrder &SO : SR.syncOrders()) {
+    OS << (First ? "" : ",") << "\n    {\"flag\": \""
+       << jsonEscape(SO.Flag.str()) << "\", \"publisher\": " << SO.Publisher
+       << ", \"published\": [";
+    bool F2 = true;
+    for (VarId X : SO.Published) {
+      OS << (F2 ? "" : ", ") << "\"" << jsonEscape(X.str()) << "\"";
+      F2 = false;
+    }
+    OS << "], \"confirmers\": [";
+    F2 = true;
+    for (const auto &[Q, G] : SO.Guarded) {
+      OS << (F2 ? "" : ", ") << "{\"thread\": " << Q << ", \"guarded\": [";
+      bool F3 = true;
+      for (VarId X : G) {
+        OS << (F3 ? "" : ", ") << "\"" << jsonEscape(X.str()) << "\"";
+        F3 = false;
+      }
+      OS << "]}";
+      F2 = false;
+    }
+    OS << "]}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "],\n";
+
+  OS << "  \"mixed_mode\": [";
+  First = true;
+  for (const MixedModeFinding &M : Mixed) {
+    OS << (First ? "" : ",") << "\n    {\"var\": \""
+       << jsonEscape(M.Var.str()) << "\", \"read_modes\": [";
+    bool F2 = true;
+    for (ReadMode R : M.Reads) {
+      OS << (F2 ? "" : ", ") << "\"" << readModeSpelling(R) << "\"";
+      F2 = false;
+    }
+    OS << "], \"write_modes\": [";
+    F2 = true;
+    for (WriteMode W : M.Writes) {
+      OS << (F2 ? "" : ", ") << "\"" << writeModeSpelling(W) << "\"";
+      F2 = false;
+    }
+    OS << "]}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "],\n";
+
+  OS << "  \"dominated_fences\": [";
+  First = true;
+  for (const FenceFinding &F : Fences) {
+    OS << (First ? "" : ",") << "\n    {\"function\": \""
+       << jsonEscape(F.Func.str()) << "\", \"block\": " << F.Block
+       << ", \"index\": " << F.Index << ", \"fence\": \""
+       << fenceModeSpelling(F.Orig) << "\", \"action\": \""
+       << (F.Dropped ? "drop" : "demote") << "\"";
+    if (!F.Dropped)
+      OS << ", \"to\": \"" << fenceModeSpelling(F.Demoted) << "\"";
+    OS << "}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "],\n";
+
+  OS << "  \"never_read_atomics\": [";
+  First = true;
+  for (const NeverReadFinding &N : NeverRead) {
+    OS << (First ? "" : ",") << "\n    {\"var\": \""
+       << jsonEscape(N.Var.str()) << "\", \"written\": "
+       << (N.Written ? "true" : "false") << "}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "],\n";
+
+  OS << "  \"summary\": {\"race_candidates\": " << SR.candidates().size()
+     << ", \"sync_orders\": " << SR.syncOrders().size()
+     << ", \"mixed_mode\": " << Mixed.size()
+     << ", \"dominated_fences\": " << Fences.size()
+     << ", \"never_read_atomics\": " << NeverRead.size() << "}\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace psopt

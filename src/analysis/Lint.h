@@ -1,0 +1,81 @@
+//===- analysis/Lint.h - Static diagnostics over a program ------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `psopt lint` report: static race candidates (StaticRace.h),
+/// mixed-mode atomics, dominated/trailing fences (found by running the
+/// FenceWeaken pass and diffing positionally — the lint rule and the
+/// optimizer can't drift apart), and never-read atomics. Renders as
+/// human-readable text or machine-readable JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_LINT_H
+#define PSOPT_ANALYSIS_LINT_H
+
+#include "analysis/StaticRace.h"
+
+#include <string>
+#include <vector>
+
+namespace psopt {
+
+/// A fence the FenceWeaken pass would drop or demote.
+struct FenceFinding {
+  FuncId Func;
+  BlockLabel Block = 0;
+  unsigned Index = 0;                 ///< instruction index within the block
+  FenceMode Orig = FenceMode::ACQ;
+  bool Dropped = false;               ///< became skip; else demoted
+  FenceMode Demoted = FenceMode::ACQ; ///< valid when !Dropped
+};
+
+/// An atomic accessed with more than one read mode or write mode.
+struct MixedModeFinding {
+  VarId Var;
+  std::vector<ReadMode> Reads;
+  std::vector<WriteMode> Writes;
+};
+
+/// An atomic that is never read (loaded or CAS'd): either written blind
+/// or never accessed at all.
+struct NeverReadFinding {
+  VarId Var;
+  bool Written = false;
+};
+
+/// The full lint report over one program. Owns its analyses.
+class LintReport {
+public:
+  explicit LintReport(const Program &P);
+
+  const Program &program() const { return Prog; }
+  const FootprintAnalysis &footprints() const { return FA; }
+  const StaticRaceAnalysis &races() const { return SR; }
+
+  const std::vector<FenceFinding> &dominatedFences() const { return Fences; }
+  const std::vector<MixedModeFinding> &mixedMode() const { return Mixed; }
+  const std::vector<NeverReadFinding> &neverReadAtomics() const {
+    return NeverRead;
+  }
+
+  bool hasRaceCandidates() const { return !SR.candidates().empty(); }
+
+  std::string renderText() const;
+  std::string renderJson() const;
+
+private:
+  Program Prog; // declared first: FA/SR hold pointers into it
+  FootprintAnalysis FA;
+  StaticRaceAnalysis SR;
+  std::vector<FenceFinding> Fences;
+  std::vector<MixedModeFinding> Mixed;
+  std::vector<NeverReadFinding> NeverRead;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_LINT_H

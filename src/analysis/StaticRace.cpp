@@ -1,0 +1,349 @@
+//===- analysis/StaticRace.cpp - Static race candidates ----------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticRace.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+
+namespace psopt {
+
+namespace {
+
+/// Intersection join for must-analyses over var sets.
+bool intersectJoin(std::set<VarId> &A, const std::set<VarId> &B) {
+  bool Changed = false;
+  for (auto It = A.begin(); It != A.end();) {
+    if (!B.count(*It)) {
+      It = A.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+/// True when every reachable block of \p Fn ends in a non-call terminator.
+/// The sync-chain analyses are intraprocedural; a call makes them bail.
+bool callFree(const Function &Fn, const Cfg &G) {
+  for (BlockLabel L : G.rpo())
+    if (Fn.block(L).terminator().isCall())
+      return false;
+  return true;
+}
+
+/// If the branch condition tests "register r read a non-zero value",
+/// returns (r, true) when the then-edge confirms it and (r, false) when
+/// the else-edge does. Shapes: `r`, `r == c` (and commuted), `r != c`.
+std::optional<std::pair<RegId, bool>> branchConfirm(const ExprRef &Cond) {
+  if (!Cond)
+    return std::nullopt;
+  if (Cond->isReg())
+    return std::make_pair(Cond->reg(), true);
+  if (!Cond->isBin())
+    return std::nullopt;
+  BinOp Op = Cond->binOp();
+  if (Op != BinOp::Eq && Op != BinOp::Ne)
+    return std::nullopt;
+  const ExprRef &L = Cond->lhs(), &R = Cond->rhs();
+  RegId Reg;
+  Val C;
+  if (L->isReg() && R->isConst()) {
+    Reg = L->reg();
+    C = R->constValue();
+  } else if (L->isConst() && R->isReg()) {
+    Reg = R->reg();
+    C = L->constValue();
+  } else {
+    return std::nullopt;
+  }
+  if (Op == BinOp::Eq)
+    return std::make_pair(Reg, C != 0); // r == 0: else-edge has r != 0
+  return std::make_pair(Reg, C == 0);   // r != c, c != 0: else has r == c
+}
+
+/// Publisher side of the chain: the set of vars X whose accesses by
+/// \p Pub all happen-before any observation of a non-zero \p Flag.
+/// Empty when \p Pub does not fit the publisher shape at all.
+std::set<VarId> publisherProtects(const Program &P,
+                                  const FootprintAnalysis &FA, Tid Pub,
+                                  VarId Flag) {
+  FuncId Entry = P.threads()[static_cast<std::size_t>(Pub)];
+  if (!P.hasFunction(Entry))
+    return {};
+  const Function &Fn = P.function(Entry);
+  Cfg G = Cfg::build(Fn);
+  if (!callFree(Fn, G))
+    return {};
+
+  // The must-analysis universe: every var this thread touches. Queries
+  // never leave it.
+  const Footprint &FP = FA.functionFootprint(Entry);
+  std::set<VarId> Universe;
+  for (const auto &[X, A] : FP) {
+    (void)A;
+    Universe.insert(X);
+  }
+
+  // May-analysis: has a store to Flag possibly executed already?
+  auto MayTransfer = [&](BlockLabel, const BasicBlock &B, const bool &In) {
+    bool Out = In;
+    for (const Instr &I : B.instructions())
+      if ((I.isStore() || I.isCas()) && I.var() == Flag)
+        Out = true;
+    return Out;
+  };
+  std::map<BlockLabel, bool> MayIn = solveForward(
+      Fn, G, false,
+      [](bool &A, const bool &B2) {
+        bool N = A || B2;
+        bool Changed = N != A;
+        A = N;
+        return Changed;
+      },
+      MayTransfer);
+
+  // Must-analysis: vars with "a release-side fence has definitely executed
+  // and nothing was written to them since" (the cover a relaxed flag store
+  // needs; reads do not kill the cover).
+  auto CoverTransfer = [&](BlockLabel, const BasicBlock &B,
+                           const std::set<VarId> &In) {
+    std::set<VarId> Out = In;
+    for (const Instr &I : B.instructions()) {
+      if (I.isFence() && fenceHasRel(I.fenceMode()))
+        Out = Universe;
+      else if (I.isStore() || I.isCas())
+        Out.erase(I.var());
+    }
+    return Out;
+  };
+  std::map<BlockLabel, std::set<VarId>> CoverIn =
+      solveForward(Fn, G, std::set<VarId>{}, intersectJoin, CoverTransfer);
+
+  // Replay both analyses per instruction: ban X-accesses at publication
+  // points, require relaxed flag stores to be fence-covered, and reject
+  // non-constant or zero flag values outright.
+  std::set<VarId> Protected = Universe;
+  Protected.erase(Flag);
+  for (BlockLabel L : G.rpo()) {
+    bool May = MayIn.at(L);
+    std::set<VarId> Cover = CoverIn.at(L);
+    for (const Instr &I : Fn.block(L).instructions()) {
+      if (I.accessesMemory() && I.var() != Flag && May)
+        Protected.erase(I.var());
+      if (I.isStore() && I.var() == Flag) {
+        std::optional<Val> V = I.expr()->evalConst();
+        if (!V || *V == 0)
+          return {}; // not a publication of a known non-zero token
+        if (I.writeMode() != WriteMode::REL) {
+          // Relaxed publication: only fence-covered vars stay ordered.
+          for (auto It = Protected.begin(); It != Protected.end();)
+            It = Cover.count(*It) ? std::next(It) : Protected.erase(It);
+        }
+      }
+      // Effects for the next instruction.
+      if (I.isFence() && fenceHasRel(I.fenceMode()))
+        Cover = Universe;
+      else if (I.isStore() || I.isCas()) {
+        Cover.erase(I.var());
+        if (I.var() == Flag)
+          May = true;
+      }
+    }
+  }
+  return Protected;
+}
+
+/// Per-register state while scanning a confirmer block: which flag the
+/// register holds and whether that load is already acquire-published.
+struct Held {
+  VarId Flag;
+  bool Published = false;
+};
+
+/// Confirmer side: for each var X accessed by thread \p Q, the set of
+/// flags F such that every X-access sits at a point where "F confirmed
+/// non-zero" definitely holds. Empty map when \p Q doesn't fit the shape.
+std::map<VarId, std::set<VarId>>
+confirmerGuardFlags(const Program &P, Tid Q, const std::set<VarId> &Flags) {
+  FuncId Entry = P.threads()[static_cast<std::size_t>(Q)];
+  if (!P.hasFunction(Entry))
+    return {};
+  const Function &Fn = P.function(Entry);
+  Cfg G = Cfg::build(Fn);
+  if (!callFree(Fn, G))
+    return {};
+
+  auto Transfer = [&](BlockLabel, const BasicBlock &B,
+                      const std::set<VarId> &In) {
+    // Track published flag loads through the block; confirmation is only
+    // added on branch edges, so the fact itself is block-constant.
+    std::map<RegId, Held> RegHolds;
+    for (const Instr &I : B.instructions()) {
+      switch (I.kind()) {
+      case Instr::Kind::Load:
+        if (Flags.count(I.var()))
+          RegHolds[I.dest()] = Held{I.var(), I.readMode() == ReadMode::ACQ};
+        else
+          RegHolds.erase(I.dest());
+        break;
+      case Instr::Kind::Cas:
+      case Instr::Kind::Assign:
+        RegHolds.erase(I.dest());
+        break;
+      case Instr::Kind::Fence:
+        if (fenceHasAcq(I.fenceMode()))
+          for (auto &[R, H] : RegHolds) {
+            (void)R;
+            H.Published = true;
+          }
+        break;
+      case Instr::Kind::Store:
+      case Instr::Kind::Skip:
+      case Instr::Kind::Print:
+        break;
+      }
+    }
+    std::vector<std::pair<BlockLabel, std::set<VarId>>> Edges;
+    const Terminator &T = B.terminator();
+    if (T.isBe()) {
+      std::set<VarId> Then = In, Else = In;
+      if (auto C = branchConfirm(T.cond())) {
+        auto It = RegHolds.find(C->first);
+        if (It != RegHolds.end() && It->second.Published)
+          (C->second ? Then : Else).insert(It->second.Flag);
+      }
+      Edges.emplace_back(T.thenTarget(), std::move(Then));
+      Edges.emplace_back(T.elseTarget(), std::move(Else));
+    } else {
+      for (BlockLabel S : T.successors())
+        Edges.emplace_back(S, In);
+    }
+    return Edges;
+  };
+  std::map<BlockLabel, std::set<VarId>> In =
+      solveForwardEdges(Fn, G, std::set<VarId>{}, intersectJoin, Transfer);
+
+  // X is guarded by F iff F is confirmed at the entry of every reachable
+  // block that accesses X (accesses in unreachable blocks never execute).
+  std::map<VarId, std::set<VarId>> Guard;
+  for (BlockLabel L : G.rpo())
+    for (const Instr &I : Fn.block(L).instructions()) {
+      if (!I.accessesMemory())
+        continue;
+      auto [It, Inserted] = Guard.emplace(I.var(), In.at(L));
+      if (!Inserted)
+        intersectJoin(It->second, In.at(L));
+    }
+  return Guard;
+}
+
+} // namespace
+
+StaticRaceAnalysis::StaticRaceAnalysis(const FootprintAnalysis &FA)
+    : FA(&FA) {
+  const Program &P = FA.program();
+  const Tid N = static_cast<Tid>(FA.threadCount());
+
+  // Recognize sync chains: one per eligible flag with a real publisher
+  // side. A flag is eligible when it is atomic, written by exactly one
+  // thread, and never CAS'd (CAS by a peer could overwrite the token).
+  std::set<VarId> Flags;
+  for (VarId F : P.atomics()) {
+    const std::set<Tid> &W = FA.writingThreads(F);
+    if (W.size() != 1)
+      continue;
+    bool Cased = false;
+    for (Tid T = 0; T < N && !Cased; ++T) {
+      const Footprint &FP = FA.threadFootprint(T);
+      auto It = FP.find(F);
+      Cased = It != FP.end() && It->second.Cas;
+    }
+    if (Cased)
+      continue;
+    Tid Pub = *W.begin();
+    std::set<VarId> Published = publisherProtects(P, FA, Pub, F);
+    if (Published.empty())
+      continue;
+    Orders.push_back(SyncOrder{F, Pub, std::move(Published), {}});
+    Flags.insert(F);
+  }
+
+  // Confirmer side, one scan per thread for all flags at once.
+  if (!Flags.empty())
+    for (Tid Q = 0; Q < N; ++Q) {
+      std::map<VarId, std::set<VarId>> Guard =
+          confirmerGuardFlags(P, Q, Flags);
+      for (SyncOrder &SO : Orders) {
+        if (SO.Publisher == Q)
+          continue;
+        std::set<VarId> Guarded;
+        for (const auto &[X, Fs] : Guard)
+          if (Fs.count(SO.Flag) && SO.Published.count(X))
+            Guarded.insert(X);
+        if (!Guarded.empty())
+          SO.Guarded.emplace(Q, std::move(Guarded));
+      }
+    }
+
+  // Candidate pairs. An orientation (R, W) can fire dynamically when R
+  // accesses X non-atomically and W writes X in any mode (the dynamic
+  // predicates race an na access against concrete messages of every
+  // mode).
+  auto NaAccess = [](const LocAccess &A) {
+    return A.readsWithMode(ReadMode::NA) || A.writesWithMode(WriteMode::NA);
+  };
+  std::set<VarId> AllVars;
+  for (Tid T = 0; T < N; ++T)
+    for (const auto &[X, A] : FA.threadFootprint(T)) {
+      (void)A;
+      AllVars.insert(X);
+    }
+  for (VarId X : AllVars) {
+    const std::set<Tid> &Acc = FA.accessingThreads(X);
+    for (auto AIt = Acc.begin(); AIt != Acc.end(); ++AIt)
+      for (auto BIt = std::next(AIt); BIt != Acc.end(); ++BIt) {
+        Tid A = *AIt, B = *BIt;
+        const LocAccess &AA = FA.threadFootprint(A).at(X);
+        const LocAccess &BA = FA.threadFootprint(B).at(X);
+        bool Fires = (NaAccess(AA) && BA.writes()) ||
+                     (NaAccess(BA) && AA.writes());
+        if (!Fires)
+          continue;
+        if (ordered(A, B, X) || ordered(B, A, X))
+          continue;
+        RaceCandidate C;
+        C.Var = X;
+        C.A = A;
+        C.B = B;
+        C.AAccess = AA;
+        C.BAccess = BA;
+        C.MayWW = (AA.writesWithMode(WriteMode::NA) && BA.writes()) ||
+                  (BA.writesWithMode(WriteMode::NA) && AA.writes());
+        C.MayRW = (AA.readsWithMode(ReadMode::NA) && BA.writes()) ||
+                  (BA.readsWithMode(ReadMode::NA) && AA.writes());
+        Candidates.push_back(std::move(C));
+      }
+  }
+}
+
+bool StaticRaceAnalysis::ordered(Tid P, Tid Q, VarId X) const {
+  for (const SyncOrder &SO : Orders) {
+    if (SO.Publisher != P || !SO.Published.count(X))
+      continue;
+    auto It = SO.Guarded.find(Q);
+    if (It != SO.Guarded.end() && It->second.count(X))
+      return true;
+  }
+  return false;
+}
+
+} // namespace psopt

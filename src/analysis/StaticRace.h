@@ -1,0 +1,97 @@
+//===- analysis/StaticRace.h - Static race candidates -----------*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A may-happen-in-parallel over-approximation of the dynamic race checkers
+/// (race/WWRace.h, race/RWRace.h). Two threads' accesses to a location are
+/// a *race candidate* when one side accesses it non-atomically, the other
+/// side writes it (any mode — the dynamic predicates fire against messages
+/// of every mode), and no static release/acquire sync chain orders the pair.
+///
+/// The recognized sync-chain shape is the message-passing discipline the
+/// generator emits (Fig 15 and the fence-MP variants): a *publisher* P
+/// finishes its accesses to X, then publishes a flag F — either a release
+/// store, or a release fence followed by a relaxed store — and a
+/// *confirmer* Q only touches X after loading F with acquire semantics
+/// (acq load, or rlx load followed by an acq fence) and branching on the
+/// loaded value being non-zero. Both sides are checked by dataflow over the
+/// Cfg:
+///
+///  - publisher side: a forward may-analysis ("F possibly already stored")
+///    bans X-accesses after any publication point, and a forward
+///    must-analysis ("release fence executed and no X-write since") covers
+///    every relaxed F-store;
+///  - confirmer side: an edge-sensitive forward must-analysis
+///    (solveForwardEdges) propagates "F confirmed non-zero" along the
+///    branch edge that tested a published flag load, and X counts as
+///    guarded only when *every* X-access sits at a confirmed point.
+///
+/// Soundness against promises (why a suppressed pair cannot race under
+/// EnablePromises) is argued in DESIGN.md §13 and enforced by test: the
+/// static report must over-approximate the dynamic verdict on every
+/// litmus/corpus/random program (tests/analysis/LintCrossCheckTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_ANALYSIS_STATICRACE_H
+#define PSOPT_ANALYSIS_STATICRACE_H
+
+#include "analysis/Footprint.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace psopt {
+
+/// One recognized release/acquire sync chain: \p Publisher's accesses to
+/// every variable in \p Published happen-before, via flag \p Flag, the
+/// guarded accesses of each confirmer in \p Guarded.
+struct SyncOrder {
+  VarId Flag;
+  Tid Publisher = 0;
+  std::set<VarId> Published;              ///< protected publisher-side
+  std::map<Tid, std::set<VarId>> Guarded; ///< confirmer → guarded vars
+};
+
+/// One unordered conflicting pair. \p A < \p B; the access summaries say
+/// which orientations can actually fire dynamically.
+struct RaceCandidate {
+  VarId Var;
+  Tid A = 0, B = 0;
+  LocAccess AAccess, BAccess;
+  bool MayWW = false; ///< some side may na-write while the other writes
+  bool MayRW = false; ///< some side may na-read while the other writes
+};
+
+/// Whole-program static race analysis over footprints.
+class StaticRaceAnalysis {
+public:
+  explicit StaticRaceAnalysis(const FootprintAnalysis &FA);
+
+  const FootprintAnalysis &footprints() const { return *FA; }
+
+  /// Race candidates in deterministic (Var, A, B) order.
+  const std::vector<RaceCandidate> &candidates() const { return Candidates; }
+
+  /// Recognized sync chains, in flag order.
+  const std::vector<SyncOrder> &syncOrders() const { return Orders; }
+
+  /// True when some sync chain orders all of \p P's X-accesses before
+  /// \p Q's.
+  bool ordered(Tid P, Tid Q, VarId X) const;
+
+  bool mayRace() const { return !Candidates.empty(); }
+
+private:
+  const FootprintAnalysis *FA;
+  std::vector<SyncOrder> Orders;
+  std::vector<RaceCandidate> Candidates;
+};
+
+} // namespace psopt
+
+#endif // PSOPT_ANALYSIS_STATICRACE_H

@@ -35,7 +35,7 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
 
   std::optional<Reducer> Red;
   if (C.Reduce && M.supportsReduction())
-    Red.emplace(M);
+    Red.emplace(M, C.AnalysisFusion);
   ReducerScratch Scr;
 
   Node Start{*M.initial(), {}};

@@ -54,6 +54,15 @@ struct ExploreConfig {
   /// machines that opt in (Machine::supportsReduction; the interleaving
   /// machine); engines at the same setting remain bit-identical.
   bool Reduce = true;
+
+  /// Feed static footprint facts (analysis/Footprint.h) to the reducer:
+  /// chains additionally fuse through stores/CASes to locations no peer
+  /// reads or writes, through fences, and through view-moving exclusive
+  /// reads. Behavior-preserving for the same reason the base reduction is
+  /// (DESIGN.md §13); off reproduces the pre-analysis reduced graph
+  /// byte-for-byte. CLI: --reduce=on|off|legacy (legacy = Reduce without
+  /// AnalysisFusion). Ignored when Reduce is false.
+  bool AnalysisFusion = true;
 };
 
 /// Explores \p M exhaustively (within \p C) and returns its behaviors.

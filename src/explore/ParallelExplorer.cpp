@@ -48,7 +48,7 @@ BehaviorSet ParallelExplorer::run() const {
   // engine node-for-node.
   std::optional<Reducer> Red;
   if (C.Reduce && M->supportsReduction())
-    Red.emplace(*M);
+    Red.emplace(*M, C.AnalysisFusion);
 
   ExploreNode Start{*M->initial(), {}};
   if (Red)

@@ -6,6 +6,8 @@
 
 #include "explore/Reduction.h"
 
+#include "analysis/Footprint.h"
+
 #include <algorithm>
 
 namespace psopt {
@@ -26,7 +28,8 @@ Statistic &numReductionSleepSkips() { return NumSleepSkips; }
 Statistic &numReductionEquivHits() { return NumEquivHits; }
 } // namespace detail
 
-Reducer::Reducer(const Machine &M) : M(&M) {
+Reducer::Reducer(const Machine &M, bool AnalysisFusion)
+    : M(&M), UseAnalysis(AnalysisFusion) {
   const Program &P = M.program();
   const std::vector<FuncId> &Threads = P.threads();
   std::vector<std::set<VarId>> Footprints(Threads.size());
@@ -41,6 +44,11 @@ Reducer::Reducer(const Machine &M) : M(&M) {
     if (M.config().EnablePromises)
       Facts[T].OwnPromisable = computePromiseDomain(P, Threads[T]).Vars;
   }
+  if (UseAnalysis) {
+    FootprintAnalysis FA(P);
+    for (std::size_t T = 0; T < Threads.size(); ++T)
+      Facts[T].OthersRead = FA.peersRead(static_cast<Tid>(T));
+  }
 }
 
 bool Reducer::exclusiveRead(Tid T, VarId X) const {
@@ -52,6 +60,37 @@ bool Reducer::exclusiveRead(Tid T, VarId X) const {
   if (F.OwnPromisable.count(X))
     return false;
   return true;
+}
+
+bool Reducer::exclusiveWrite(Tid T, VarId X) const {
+  if (!UseAnalysis)
+    return false;
+  // A peer reservation on X (reserve steps range over all of storage)
+  // would perturb T's placement enumeration; stay out when they exist.
+  if (M->config().EnableReservations)
+    return false;
+  const ThreadFacts &F = Facts[T];
+  if (F.OthersWrite.count(X) || F.OthersRead.count(X))
+    return false;
+  // With promises on, T itself could promise on X and fulfil it with this
+  // very store; fusing the fresh-placement order would prune that path.
+  if (F.OwnPromisable.count(X))
+    return false;
+  return true;
+}
+
+bool Reducer::fusibleFence(Tid T, FenceMode FM) const {
+  if (!UseAnalysis)
+    return false;
+  // fence.acq only publishes the banked Acq view into V — thread-local.
+  if (!fenceHasRel(FM))
+    return true;
+  // A rel-carrying fence rewrites the Rel snapshot that a future promise's
+  // message view would carry; deferring such a promise past the fence is
+  // observable. Safe exactly when T can make no promises at all. (The
+  // fence step itself is never blocked here: chains only start and stay
+  // promise-free.)
+  return Facts[T].OwnPromisable.empty();
 }
 
 bool Reducer::selectFused(const MachineState &S, ReducerScratch &Scr,
@@ -69,31 +108,57 @@ bool Reducer::selectFused(const MachineState &S, ReducerScratch &Scr,
     if (S.Mem.hasConcretePromises(T))
       continue;
 
-    // Walk T's maximal deterministic thread-local chain.
+    // Walk T's maximal deterministic thread-local chain. Fused stores
+    // deposit messages, so the chain threads its own memory copy (lazily:
+    // untouched until the first memory-writing fused step).
     ThreadState Cur = TS0;
+    Memory ChainMem;
+    bool MemChanged = false;
     Scr.ChainLocals.clear();
     Scr.ChainLocals.push_back(Cur.Local.hash());
     unsigned Len = 0;
     for (;;) {
       Scr.Steps.clear();
-      enumerateProgramSteps(P, T, Cur, S.Mem, Scr.Steps, M->config());
+      enumerateProgramSteps(P, T, Cur, MemChanged ? ChainMem : S.Mem,
+                            Scr.Steps, M->config());
       if (Scr.Steps.size() != 1 || Scr.Steps[0].Abort)
         break; // chain ends before a branch point / abort
       ThreadSuccessor &Step = Scr.Steps[0];
       bool ThreadLocal = false;
+      bool MemStep = false;
       if (Step.Ev.K == ThreadEvent::Kind::Tau) {
         // Skip/assign/terminator: touches neither memory nor the view.
         ThreadLocal = true;
       } else if (Step.Ev.K == ThreadEvent::Kind::Read &&
-                 exclusiveRead(T, Step.Ev.Var) && Step.TS.V == Cur.V) {
-        // A read of a location no peer can write, returning the thread's
-        // own latest observation (the view did not move): deterministic
-        // now and under any peer schedule, so it commutes like a tau.
+                 exclusiveRead(T, Step.Ev.Var) &&
+                 (UseAnalysis || Step.TS.V == Cur.V)) {
+        // A read of a location no peer can write: the readable set is
+        // schedule-independent, so a unique read now is the same unique
+        // read under any peer order. Legacy mode additionally requires
+        // the view not to move (the pre-analysis conservative rule).
+        ThreadLocal = true;
+      } else if ((Step.Ev.K == ThreadEvent::Kind::Write ||
+                  Step.Ev.K == ThreadEvent::Kind::Update) &&
+                 exclusiveWrite(T, Step.Ev.Var)) {
+        // A store/CAS on a location no peer reads, writes, or reserves:
+        // the new message is invisible to every peer step and to every
+        // peer's certification search, and the placement enumeration is
+        // peer-independent, so the write commutes like a tau.
+        ThreadLocal = true;
+        MemStep = true;
+      } else if (Step.Ev.K == ThreadEvent::Kind::Fence &&
+                 fusibleFence(T, Step.Ev.FM)) {
+        // Fences edit only the thread's own views (see fusibleFence for
+        // the rel-side promise caveat).
         ThreadLocal = true;
       }
       if (!ThreadLocal)
         break;
       Cur = std::move(Step.TS);
+      if (MemStep) {
+        ChainMem = std::move(Step.Mem);
+        MemChanged = true;
+      }
       ++Len;
       if (Cur.Local.isTerminated())
         break; // chain ran the thread to completion
@@ -115,13 +180,16 @@ bool Reducer::selectFused(const MachineState &S, ReducerScratch &Scr,
     if (Len == 0)
       continue;
 
-    // Fuse: the chain becomes one tau-labeled machine step. Memory and
-    // every other thread are untouched; Cur/SwitchAllowed keep their fixed
-    // interleaving values. Per-step certification is vacuous throughout
-    // (T holds no promises), so skipping it loses nothing.
+    // Fuse: the chain becomes one tau-labeled machine step. Every other
+    // thread is untouched; memory changes only by the chain's own fused
+    // stores; Cur/SwitchAllowed keep their fixed interleaving values.
+    // Per-step certification is vacuous throughout (T holds no promises),
+    // so skipping it loses nothing.
     Out.State = S;
     Out.State.Threads[T] = std::move(Cur);
     Out.State.Threads[T].invalidateHash();
+    if (MemChanged)
+      Out.State.Mem = std::move(ChainMem);
     Out.State.invalidateHash();
     Out.Ev = MachineEvent{};
     Out.Ev.K = MachineEvent::Kind::Tau;

@@ -81,7 +81,12 @@ struct ReducerScratch {
 /// and pass their own ReducerScratch.
 class Reducer {
 public:
-  explicit Reducer(const Machine &M);
+  /// \p AnalysisFusion additionally admits stores/CASes to statically
+  /// unshared locations (threading memory through the chain), fences, and
+  /// view-moving exclusive reads into fused chains, using footprint facts
+  /// from analysis/Footprint.h. False reproduces the pre-analysis reduced
+  /// graph byte-for-byte (CLI: --reduce=legacy).
+  explicit Reducer(const Machine &M, bool AnalysisFusion = true);
 
   /// Ample-set selection: if some thread is fusible at \p S, writes the
   /// fused macro-successor (the whole thread-local chain collapsed into a
@@ -105,6 +110,11 @@ private:
     /// read by this thread can race with. A load outside this set is
     /// thread-local for scheduling purposes.
     std::set<VarId> OthersWrite;
+    /// Union of every *other* thread's static read footprint (populated
+    /// only under AnalysisFusion, from analysis/Footprint.h): a store to a
+    /// location outside OthersWrite ∪ OthersRead deposits a message no
+    /// peer can ever observe.
+    std::set<VarId> OthersRead;
     /// This thread's own promise location domain. When promises are
     /// enabled, a read of an own-promisable location is not fusible: the
     /// pruned "promise first, then read own promise" order is observable.
@@ -115,7 +125,22 @@ private:
   /// peer (or T's own promise machinery) could take.
   bool exclusiveRead(Tid T, VarId X) const;
 
+  /// True when thread \p T's store/CAS to \p X commutes with every peer
+  /// step: no peer reads or writes \p X, \p X is outside T's own promise
+  /// domain, and reservations are off (a peer reservation on \p X would
+  /// perturb T's placement enumeration). AnalysisFusion only.
+  bool exclusiveWrite(Tid T, VarId X) const;
+
+  /// True when a fence of mode \p FM by thread \p T is fusible: acq-only
+  /// fences always (a pure thread-local view edit); rel-carrying fences
+  /// only when T can make no promises at all (the fence rewrites the Rel
+  /// snapshot that future promises' message views would carry, so the
+  /// pruned "promise before the fence" order is observable otherwise).
+  /// AnalysisFusion only.
+  bool fusibleFence(Tid T, FenceMode FM) const;
+
   const Machine *M;
+  bool UseAnalysis = false;
   std::vector<ThreadFacts> Facts; // indexed by thread id
 };
 

@@ -139,10 +139,19 @@ private:
     unsigned Segments = static_cast<unsigned>(Ops.size()) + 1;
     unsigned Base = C.FillerPerThread / Segments;
     unsigned Extra = C.FillerPerThread % Segments;
+    unsigned PvBase = C.PrivateStoresPerThread / Segments;
+    unsigned PvExtra = C.PrivateStoresPerThread % Segments;
+    VarId Pv("pv" + std::to_string(T));
+    unsigned PvVal = 0;
     for (unsigned S = 0; S < Segments; ++S) {
       unsigned Len = Base + (S < Extra ? 1 : 0);
       for (unsigned I = 0; I < Len; ++I)
         emitFiller(FB, T);
+      // Private stores ride along after the register filler: memory
+      // steps no peer reads or writes, fusible only with analysis facts.
+      unsigned PvLen = PvBase + (S < PvExtra ? 1 : 0);
+      for (unsigned I = 0; I < PvLen; ++I)
+        FB.store(Pv, dsl::cst(static_cast<Val>(++PvVal)), WriteMode::NA);
       if (S < Ops.size())
         emitComm(FB, Ops[S]);
     }
@@ -181,9 +190,12 @@ std::string scaleWorkloadTag(const ScaleWorkloadConfig &C) {
                       : C.Shape == Mix::SB ? "sb"
                       : C.Shape == Mix::LB ? "lb"
                                            : "mixed";
-  return "t" + std::to_string(C.NumThreads) + "_f" +
-         std::to_string(C.FillerPerThread) + "_s" +
-         std::to_string(C.Skeletons) + "_" + Shape;
+  std::string Tag = "t" + std::to_string(C.NumThreads) + "_f" +
+                    std::to_string(C.FillerPerThread) + "_s" +
+                    std::to_string(C.Skeletons) + "_" + Shape;
+  if (C.PrivateStoresPerThread > 0)
+    Tag += "_w" + std::to_string(C.PrivateStoresPerThread);
+  return Tag;
 }
 
 } // namespace psopt

@@ -58,6 +58,15 @@ struct ScaleWorkloadConfig {
   /// Trailing prints per thread. Keep small: every print multiplies the
   /// (state, trace) graph by the trace prefix count.
   unsigned PrintsPerThread = 1;
+
+  /// Thread-local filler *stores* per thread: each thread repeatedly
+  /// overwrites its own private variable (pv<T>, never touched by a
+  /// peer). Unlike the read-only filler these are memory-mutating steps,
+  /// so only the analysis-guided reduction (exclusive-write fusion,
+  /// ExploreConfig::AnalysisFusion) can collapse them; the legacy
+  /// reduction must schedule every one. 0 keeps the historical
+  /// workloads byte-identical.
+  unsigned PrivateStoresPerThread = 0;
 };
 
 /// Generates the workload. Deterministic in \p C.

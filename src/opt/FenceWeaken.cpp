@@ -31,6 +31,17 @@
 ///    no stores left to fulfil it). Each side is judged separately, so a
 ///    trailing acqrel above loads demotes to acq.
 ///
+/// Thread-privacy relaxations (analysis/Footprint.h): accesses to a
+/// location provably private to whichever thread runs the function are
+/// transparent to both rules. A private load banks only the thread's own
+/// past snapshots (never new knowledge — every view coordinate of a
+/// private location originates at its single owner, so nothing circulating
+/// can exceed what the owner already knows), a private store or CAS raises
+/// V only at a coordinate no peer ever consults, and a Rel snapshot
+/// attached to a private message is read back only by its own author. So
+/// private accesses preserve AcqFresh/RelFresh, and the trailing rules
+/// skip them.
+///
 /// The unsafe variant keeps acq parts "fresh" across loads: it drops an
 /// acq fence even though a relaxed load in between banked a new message
 /// view — the fence-based Fig 1. With the second fence of
@@ -40,8 +51,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Footprint.h"
 #include "opt/Pass.h"
 #include "support/Statistic.h"
+
+#include <functional>
 
 namespace psopt {
 
@@ -61,40 +75,56 @@ public:
   }
 
   Program run(const Program &P) const override {
+    FootprintAnalysis FA(P);
     Program Out = P;
-    for (auto &[Name, F] : Out.code())
+    for (auto &[Name, F] : Out.code()) {
+      FuncId Fn = Name;
+      auto IsPrivate = [&FA, Fn](VarId X) {
+        return FA.privateInFunction(Fn, X);
+      };
       for (auto &[L, B] : F.blocks())
-        runOnBlock(B);
+        runOnBlock(B, IsPrivate);
+    }
     return Out;
   }
 
 private:
-  /// R2 acq side: no memory access at or after index \p From, and the
-  /// block falls off the end of the thread.
-  static bool trailingAcq(const BasicBlock &B, std::size_t From) {
-    if (!B.terminator().isRet())
-      return false;
-    for (std::size_t J = From; J < B.size(); ++J)
-      if (B.instructions()[J].accessesMemory())
-        return false;
-    return true;
-  }
+  using PrivateFn = std::function<bool(VarId)>;
 
-  /// R2 rel side: no write (store or CAS) at or after index \p From, and
-  /// the block falls off the end of the thread. Loads are fine — nothing
-  /// ever reads Rel except a write's message view.
-  static bool trailingRel(const BasicBlock &B, std::size_t From) {
+  /// R2 acq side: no non-private memory access at or after index \p From,
+  /// and the block falls off the end of the thread. (A private access
+  /// never consumes the acquired view: its location's coordinate cannot
+  /// have been raised by the acquire.)
+  static bool trailingAcq(const BasicBlock &B, std::size_t From,
+                          const PrivateFn &IsPrivate) {
     if (!B.terminator().isRet())
       return false;
     for (std::size_t J = From; J < B.size(); ++J) {
       const Instr &In = B.instructions()[J];
-      if (In.isStore() || In.isCas())
+      if (In.accessesMemory() && !IsPrivate(In.var()))
         return false;
     }
     return true;
   }
 
-  void runOnBlock(BasicBlock &B) const {
+  /// R2 rel side: no non-private write (store or CAS) at or after index
+  /// \p From, and the block falls off the end of the thread. Loads are
+  /// fine — nothing ever reads Rel except a write's message view — and a
+  /// snapshot attached to a private message is read back only by its own
+  /// author, to whom it is stale.
+  static bool trailingRel(const BasicBlock &B, std::size_t From,
+                          const PrivateFn &IsPrivate) {
+    if (!B.terminator().isRet())
+      return false;
+    for (std::size_t J = From; J < B.size(); ++J) {
+      const Instr &In = B.instructions()[J];
+      if ((In.isStore() || In.isCas()) && !IsPrivate(In.var()))
+        return false;
+    }
+    return true;
+  }
+
+  void runOnBlock(BasicBlock &B, const PrivateFn &IsPrivate) const {
     // AcqFresh: an earlier acq-side fence with nothing banked since.
     // RelFresh: an earlier rel-side fence with an unchanged view since.
     bool AcqFresh = false, RelFresh = false;
@@ -102,14 +132,20 @@ private:
       Instr &In = B.instructions()[I];
       switch (In.kind()) {
       case Instr::Kind::Load:
+        if (IsPrivate(In.var()))
+          continue; // own messages only: banks nothing new, V unmoved
         if (LoadsKillAcq)
           AcqFresh = false; // the load banked a view Acq must publish
         RelFresh = false;   // the load raised V
         continue;
       case Instr::Kind::Store:
+        if (IsPrivate(In.var()))
+          continue; // V moves only at a coordinate no peer consults
         RelFresh = false;
         continue; // stores bank nothing: AcqFresh survives
       case Instr::Kind::Cas:
+        if (IsPrivate(In.var()))
+          continue; // private update: both sides stay no-ops
         AcqFresh = false;
         RelFresh = false;
         continue;
@@ -123,12 +159,12 @@ private:
 
       FenceMode M = In.fenceMode();
       bool AcqNoop =
-          !fenceHasAcq(M) || AcqFresh || trailingAcq(B, I + 1);
+          !fenceHasAcq(M) || AcqFresh || trailingAcq(B, I + 1, IsPrivate);
       // R1's rel part re-snapshots V, which the fence's own acq part may
       // have just raised: redundant only below an unmoved view. R2's rel
       // side needs no such care — an unobservable snapshot may move.
       bool RelNoop = !fenceHasRel(M) || (RelFresh && AcqNoop) ||
-                     trailingRel(B, I + 1);
+                     trailingRel(B, I + 1, IsPrivate);
 
       if (AcqNoop && RelNoop) {
         In = Instr::makeSkip();

@@ -34,15 +34,24 @@
 /// another store, is allowed: the target's message views only grow, so
 /// readers of the released message are more constrained, not less.
 ///
+/// Thread-privacy relaxations (analysis/Footprint.h): when a location is
+/// provably private to whichever thread runs the function, its accesses
+/// synchronize with nothing — an acquire load of it publishes no peer
+/// state (no barrier to hoisting), an early store to it needs no promise,
+/// and a sunk store to it needs no delayed-write fuel (no peer can demand
+/// the pending value, so Fig 14's decreasing index is vacuous).
+///
 /// The unsafe variant drops the acquire restriction and hoists a load
 /// above an acquire load — exactly Fig 1 expressed as a peephole. It is
 /// refuted by the refinement oracle on the message-passing skeleton.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Footprint.h"
 #include "opt/Pass.h"
 #include "support/Statistic.h"
 
+#include <functional>
 #include <vector>
 
 namespace psopt {
@@ -86,16 +95,25 @@ public:
   }
 
   Program run(const Program &P) const override {
+    FootprintAnalysis FA(P);
     Program Out = P;
-    for (auto &[Name, F] : Out.code())
+    for (auto &[Name, F] : Out.code()) {
+      FuncId Fn = Name;
+      auto IsPrivate = [&FA, Fn](VarId X) {
+        return FA.privateInFunction(Fn, X);
+      };
       for (auto &[L, B] : F.blocks())
-        runOnBlock(B.instructions());
+        runOnBlock(B.instructions(), IsPrivate);
+    }
     return Out;
   }
 
 private:
+  using PrivateFn = std::function<bool(VarId)>;
+
   /// May i2 move in front of i1?
-  bool canSwap(const Instr &I1, const Instr &I2) const {
+  bool canSwap(const Instr &I1, const Instr &I2,
+               const PrivateFn &IsPrivate) const {
     if (!movable(I1) || !movable(I2))
       return false;
     // Register independence.
@@ -110,19 +128,25 @@ private:
     // Memory independence.
     if (I1.accessesMemory() && I2.accessesMemory() && I1.var() == I2.var())
       return false;
-    // Never hoist across an acquire (dropped by the unsafe variant).
-    if (AcquireBarrier && I1.isLoad() && I1.readMode() == ReadMode::ACQ)
+    // Never hoist across an acquire (dropped by the unsafe variant) —
+    // unless the acquired location is thread-private: all its messages
+    // are the reader's own, so the acquire publishes nothing.
+    if (AcquireBarrier && I1.isLoad() && I1.readMode() == ReadMode::ACQ &&
+        !IsPrivate(I1.var()))
       return false;
     // Never sink across a release.
     if (I2.isStore() && I2.writeMode() == WriteMode::REL)
       return false;
-    // A store never advances above a load.
-    if (I1.isLoad() && I2.isStore())
+    // A store never advances above a load — unless the store's target is
+    // thread-private: the early message is invisible to every peer, so
+    // no promise is needed to justify it.
+    if (I1.isLoad() && I2.isStore() && !IsPrivate(I2.var()))
       return false;
     return true;
   }
 
-  void runOnBlock(std::vector<Instr> &Instrs) const {
+  void runOnBlock(std::vector<Instr> &Instrs,
+                  const PrivateFn &IsPrivate) const {
     // Delay fuel per instruction: decremented each time a store is sunk
     // past a load. Mirrors SimConfig::DelayFuel (Fig 14's strictly
     // decreasing delayed-write indices).
@@ -135,9 +159,11 @@ private:
       for (std::size_t I = 0; I + 1 < Instrs.size(); ++I) {
         Instr &I1 = Instrs[I];
         Instr &I2 = Instrs[I + 1];
-        if (rankOf(I2) >= rankOf(I1) || !canSwap(I1, I2))
+        if (rankOf(I2) >= rankOf(I1) || !canSwap(I1, I2, IsPrivate))
           continue;
-        bool Delays = I1.isStore() && I2.isLoad();
+        // Private stores sink without fuel: no peer can demand the
+        // delayed value, so there is no delayed-write set to bound.
+        bool Delays = I1.isStore() && I2.isLoad() && !IsPrivate(I1.var());
         if (Delays && Fuel[I] == 0)
           continue;
         std::swap(I1, I2);

@@ -20,12 +20,20 @@
 ///
 /// Calls end the block, so terminators need no special casing.
 ///
+/// Thread-privacy relaxation (analysis/Footprint.h): when the dying
+/// store's location is provably private to whichever thread runs the
+/// function, no reader exists for a release to publish the value to, so
+/// release stores, rel-side fences and CASes (to *other* locations) are
+/// crossed freely; only a same-location access still blocks. The publisher
+/// skeleton above is unaffected — `d` there is read by the consumer.
+///
 /// The unsafe variant ignores the release boundary (stores and fences),
 /// reproducing the Fig 15 mistake on the write side. It fires on the
 /// message-passing publisher `d := 1; f.rel := 1; d := 2`.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Footprint.h"
 #include "opt/Pass.h"
 #include "support/Statistic.h"
 
@@ -46,17 +54,20 @@ public:
   }
 
   Program run(const Program &P) const override {
+    FootprintAnalysis FA(P);
     Program Out = P;
     for (auto &[Name, F] : Out.code())
       for (auto &[L, B] : F.blocks())
-        runOnBlock(P, B.instructions());
+        runOnBlock(P, FA, Name, B.instructions());
     return Out;
   }
 
 private:
   /// Does a later same-location na store overwrite Instrs[I] with no
-  /// intervening observer or release boundary?
-  bool overwritten(const std::vector<Instr> &Instrs, std::size_t I) const {
+  /// intervening observer or release boundary? \p Private waives the
+  /// release boundaries: a private location has no reader to publish to.
+  bool overwritten(const std::vector<Instr> &Instrs, std::size_t I,
+                   bool Private) const {
     VarId X = Instrs[I].var();
     for (std::size_t J = I + 1; J < Instrs.size(); ++J) {
       const Instr &In = Instrs[J];
@@ -64,7 +75,7 @@ private:
       case Instr::Kind::Store:
         if (In.var() == X)
           return In.writeMode() == WriteMode::NA;
-        if (ReleaseBoundary && In.writeMode() == WriteMode::REL)
+        if (ReleaseBoundary && !Private && In.writeMode() == WriteMode::REL)
           return false;
         break;
       case Instr::Kind::Load:
@@ -72,9 +83,13 @@ private:
           return false;
         break;
       case Instr::Kind::Cas:
-        return false; // may synchronize either way: barrier
+        if (In.var() == X)
+          return false; // same-location observer (mode violation anyway)
+        if (!Private)
+          return false; // may synchronize either way: barrier
+        break;
       case Instr::Kind::Fence:
-        if (ReleaseBoundary && fenceHasRel(In.fenceMode()))
+        if (ReleaseBoundary && !Private && fenceHasRel(In.fenceMode()))
           return false;
         break;
       case Instr::Kind::Assign:
@@ -86,13 +101,14 @@ private:
     return false;
   }
 
-  void runOnBlock(const Program &P, std::vector<Instr> &Instrs) const {
+  void runOnBlock(const Program &P, const FootprintAnalysis &FA, FuncId Fn,
+                  std::vector<Instr> &Instrs) const {
     for (std::size_t I = 0; I < Instrs.size(); ++I) {
       Instr &In = Instrs[I];
       if (!In.isStore() || In.writeMode() != WriteMode::NA ||
           P.isAtomic(In.var()))
         continue;
-      if (overwritten(Instrs, I)) {
+      if (overwritten(Instrs, I, FA.privateInFunction(Fn, In.var()))) {
         In = Instr::makeSkip();
         ++NumElimStores;
       }

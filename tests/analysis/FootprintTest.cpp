@@ -1,0 +1,206 @@
+//===- tests/analysis/FootprintTest.cpp - Static footprint tests -----------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// FootprintAnalysis: the strength lattice, per-function/per-thread
+/// access summaries, transitive call closure, reachability, the
+/// thread-privacy predicate, and the peer conflict sets that feed the
+/// schedule reducer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+Program parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return *R.Prog;
+}
+
+TEST(FootprintTest, StrengthLatticeLaws) {
+  using S = OrderStrength;
+  const S All[] = {S::None, S::NA, S::RLX, S::ACQ, S::REL, S::ACQREL};
+  for (S A : All) {
+    EXPECT_EQ(joinStrength(A, A), A);
+    EXPECT_TRUE(strengthLeq(A, A));
+    EXPECT_TRUE(strengthLeq(S::None, A));
+    EXPECT_TRUE(strengthLeq(A, S::ACQREL));
+    for (S B : All) {
+      EXPECT_EQ(joinStrength(A, B), joinStrength(B, A));
+      EXPECT_TRUE(strengthLeq(A, joinStrength(A, B)));
+    }
+  }
+  // na ⊑ rlx ⊑ acq/rel; acq and rel are incomparable and join to acqrel.
+  EXPECT_TRUE(strengthLeq(S::NA, S::RLX));
+  EXPECT_TRUE(strengthLeq(S::RLX, S::ACQ));
+  EXPECT_TRUE(strengthLeq(S::RLX, S::REL));
+  EXPECT_FALSE(strengthLeq(S::ACQ, S::REL));
+  EXPECT_FALSE(strengthLeq(S::REL, S::ACQ));
+  EXPECT_EQ(joinStrength(S::ACQ, S::REL), S::ACQREL);
+  EXPECT_FALSE(strengthLeq(S::RLX, S::NA));
+}
+
+TEST(FootprintTest, PerThreadReadWriteSets) {
+  Program P = parse(R"(var d; var a atomic;
+    func f { block 0: d.na := 1; a.rel := 1; ret; }
+    func g { block 0: r := a.acq; r2 := d.na; print(r + r2); ret; }
+    thread f; thread g;)");
+  FootprintAnalysis FA(P);
+  ASSERT_EQ(FA.threadCount(), 2u);
+
+  const Footprint &F0 = FA.threadFootprint(0);
+  ASSERT_TRUE(F0.count(VarId("d")));
+  ASSERT_TRUE(F0.count(VarId("a")));
+  EXPECT_TRUE(F0.at(VarId("d")).writes());
+  EXPECT_FALSE(F0.at(VarId("d")).reads());
+  EXPECT_TRUE(F0.at(VarId("a")).writesWithMode(WriteMode::REL));
+  EXPECT_EQ(F0.at(VarId("a")).strength(), OrderStrength::REL);
+
+  const Footprint &F1 = FA.threadFootprint(1);
+  EXPECT_TRUE(F1.at(VarId("a")).readsWithMode(ReadMode::ACQ));
+  EXPECT_FALSE(F1.at(VarId("a")).writes());
+  EXPECT_EQ(F1.at(VarId("d")).strength(), OrderStrength::NA);
+}
+
+TEST(FootprintTest, CasCountsAsReadAndWrite) {
+  Program P = parse(R"(var a atomic;
+    func f { block 0: r := cas(a, 0, 1, acq, rel); print(r); ret; }
+    thread f;)");
+  FootprintAnalysis FA(P);
+  const LocAccess &A = FA.threadFootprint(0).at(VarId("a"));
+  EXPECT_TRUE(A.Cas);
+  EXPECT_TRUE(A.reads());
+  EXPECT_TRUE(A.writes());
+  EXPECT_EQ(A.strength(), OrderStrength::ACQREL);
+  EXPECT_TRUE(FA.writingThreads(VarId("a")).count(0));
+  EXPECT_TRUE(FA.readingThreads(VarId("a")).count(0));
+}
+
+TEST(FootprintTest, TransitiveCallClosure) {
+  Program P = parse(R"(var x; var y;
+    func leaf { block 0: y.na := 2; ret; }
+    func mid { block 0: call leaf, 1; block 1: ret; }
+    func f { block 0: x.na := 1; call mid, 1; block 1: ret; }
+    thread f;)");
+  FootprintAnalysis FA(P);
+  const Footprint &F = FA.functionFootprint(FuncId("f"));
+  EXPECT_TRUE(F.count(VarId("x")));
+  EXPECT_TRUE(F.count(VarId("y"))) << "callee accesses must surface";
+  // The leaf's own footprint stays narrow.
+  EXPECT_FALSE(FA.functionFootprint(FuncId("leaf")).count(VarId("x")));
+  // Threads running f (directly or through calls) are recorded for every
+  // function on the call chain.
+  EXPECT_TRUE(FA.functionThreads(FuncId("leaf")).count(0));
+  EXPECT_TRUE(FA.functionThreads(FuncId("mid")).count(0));
+}
+
+TEST(FootprintTest, UnreachableBlocksDoNotContribute) {
+  // Block 2 is never branched to: its store must not appear.
+  Program P = parse(R"(var x; var y;
+    func f { block 0: x.na := 1; jmp 1;
+             block 1: ret;
+             block 2: y.na := 1; ret; }
+    thread f;)");
+  FootprintAnalysis FA(P);
+  EXPECT_TRUE(FA.threadFootprint(0).count(VarId("x")));
+  EXPECT_FALSE(FA.threadFootprint(0).count(VarId("y")))
+      << "unreachable block leaked into the footprint";
+}
+
+TEST(FootprintTest, DanglingBranchTargetIsTolerated) {
+  // The explorer keeps this program (it aborts dynamically at the missing
+  // label); the analysis must simply not crash on it.
+  Program P = parse(R"(var x;
+    func f { block 0: x.na := 1; ret; }
+    func g { block 0: jmp 9; }
+    thread f; thread g;)");
+  FootprintAnalysis FA(P);
+  EXPECT_TRUE(FA.threadFootprint(0).count(VarId("x")));
+  EXPECT_TRUE(FA.threadFootprint(1).empty());
+}
+
+TEST(FootprintTest, PrivateInFunction) {
+  Program P = parse(R"(var x; var d; var a atomic;
+    func f { block 0: x.na := 1; r := x.na; d.na := 1; print(r); ret; }
+    func g { block 0: r := d.na; r2 := a.rlx; print(r + r2); ret; }
+    thread f; thread g;)");
+  FootprintAnalysis FA(P);
+  // x: touched only by thread 0, f runs only on thread 0.
+  EXPECT_TRUE(FA.privateInFunction(FuncId("f"), VarId("x")));
+  // d: written by 0 and read by 1 — shared from both sides.
+  EXPECT_FALSE(FA.privateInFunction(FuncId("f"), VarId("d")));
+  EXPECT_FALSE(FA.privateInFunction(FuncId("g"), VarId("d")));
+  // a: touched only by thread 1.
+  EXPECT_TRUE(FA.privateInFunction(FuncId("g"), VarId("a")));
+  EXPECT_FALSE(FA.privateInFunction(FuncId("f"), VarId("a")))
+      << "a is private to the *other* thread";
+  // A location nobody touches has no accessor for f's thread to be, so
+  // the predicate stays conservative (no pass ever asks about it).
+  EXPECT_FALSE(FA.privateInFunction(FuncId("f"), VarId("nosuch")));
+}
+
+TEST(FootprintTest, SharedFunctionGetsNoPrivacyFacts) {
+  // Both threads run f, so no location f touches is private to "the"
+  // thread executing it.
+  Program P = parse(R"(var x;
+    func f { block 0: x.na := 1; ret; }
+    thread f; thread f;)");
+  FootprintAnalysis FA(P);
+  EXPECT_FALSE(FA.privateInFunction(FuncId("f"), VarId("x")));
+}
+
+TEST(FootprintTest, NoThreadsMeansNoPrivacyFacts) {
+  // Without a thread declaration the analysis cannot know who runs f.
+  Program P = parse(R"(var x;
+    func f { block 0: x.na := 1; ret; })");
+  FootprintAnalysis FA(P);
+  EXPECT_FALSE(FA.privateInFunction(FuncId("f"), VarId("x")));
+}
+
+TEST(FootprintTest, PeerConflictSets) {
+  Program P = parse(R"(var x; var y; var z;
+    func f { block 0: x.na := 1; r := y.na; print(r); ret; }
+    func g { block 0: y.na := 1; r := x.na; z.na := 1; print(r); ret; }
+    thread f; thread g;)");
+  FootprintAnalysis FA(P);
+  std::set<VarId> PW0 = FA.peersWrite(0);
+  EXPECT_TRUE(PW0.count(VarId("y")));
+  EXPECT_TRUE(PW0.count(VarId("z")));
+  EXPECT_FALSE(PW0.count(VarId("x")));
+  std::set<VarId> PR0 = FA.peersRead(0);
+  EXPECT_TRUE(PR0.count(VarId("x")));
+  EXPECT_FALSE(PR0.count(VarId("z")))
+      << "z is written but never read by the peer";
+  std::set<VarId> PW1 = FA.peersWrite(1);
+  EXPECT_TRUE(PW1.count(VarId("x")));
+  EXPECT_FALSE(PW1.count(VarId("z")));
+}
+
+TEST(FootprintTest, LocAccessJoinReportsChange) {
+  LocAccess A, B;
+  A.addRead(ReadMode::NA);
+  B.addRead(ReadMode::ACQ);
+  B.addWrite(WriteMode::RLX);
+  EXPECT_TRUE(A.join(B));
+  EXPECT_TRUE(A.readsWithMode(ReadMode::NA));
+  EXPECT_TRUE(A.readsWithMode(ReadMode::ACQ));
+  EXPECT_TRUE(A.writesWithMode(WriteMode::RLX));
+  EXPECT_FALSE(A.join(B)) << "second join is a no-op";
+
+  Footprint F1, F2;
+  F2[VarId("x")] = A;
+  EXPECT_TRUE(joinFootprint(F1, F2));
+  EXPECT_FALSE(joinFootprint(F1, F2));
+  EXPECT_TRUE(F1.at(VarId("x")) == A);
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,185 @@
+//===- tests/analysis/LintTest.cpp - Lint report tests ---------------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// LintReport: per-rule findings (mixed-mode atomics, dominated fences
+/// via the FenceWeaken diff, never-read atomics), the text rendering,
+/// and golden JSON output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+Program parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return *R.Prog;
+}
+
+TEST(LintTest, CleanMpProgramHasNoFindings) {
+  LintReport R(parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)"));
+  EXPECT_FALSE(R.hasRaceCandidates());
+  EXPECT_TRUE(R.dominatedFences().empty());
+  EXPECT_TRUE(R.mixedMode().empty());
+  EXPECT_TRUE(R.neverReadAtomics().empty());
+  EXPECT_EQ(R.races().syncOrders().size(), 1u);
+}
+
+TEST(LintTest, MixedModeAtomicIsReported) {
+  LintReport R(parse(R"(var a atomic;
+    func t1 { block 0: a.rlx := 1; a.rel := 2; ret; }
+    func t2 { block 0: r := a.acq; r2 := a.rlx; print(r + r2); ret; }
+    thread t1; thread t2;)"));
+  ASSERT_EQ(R.mixedMode().size(), 1u);
+  const MixedModeFinding &M = R.mixedMode()[0];
+  EXPECT_EQ(M.Var, VarId("a"));
+  EXPECT_EQ(M.Reads.size(), 2u);
+  EXPECT_EQ(M.Writes.size(), 2u);
+}
+
+TEST(LintTest, SingleModeAtomicIsNotMixed) {
+  LintReport R(parse(R"(var a atomic;
+    func t1 { block 0: a.rel := 1; ret; }
+    func t2 { block 0: r := a.acq; print(r); ret; }
+    thread t1; thread t2;)"));
+  EXPECT_TRUE(R.mixedMode().empty());
+}
+
+TEST(LintTest, DominatedFenceIsReportedAtItsPosition) {
+  LintReport R(parse(R"(var d; var a atomic;
+    func f { block 0: r := a.rlx; fence.acq; fence.acq; r2 := d.na;
+                      print(r + r2); ret; }
+    func g { block 0: d.na := 1; a.rlx := 1; ret; }
+    thread f; thread g;)"));
+  ASSERT_EQ(R.dominatedFences().size(), 1u);
+  const FenceFinding &F = R.dominatedFences()[0];
+  EXPECT_EQ(F.Func, FuncId("f"));
+  EXPECT_EQ(F.Block, 0u);
+  EXPECT_EQ(F.Index, 2u) << "the *second* fence is the redundant one";
+  EXPECT_TRUE(F.Dropped);
+  EXPECT_EQ(F.Orig, FenceMode::ACQ);
+}
+
+TEST(LintTest, DemotedAcqrelFenceIsReported) {
+  LintReport R(parse(R"(var x;
+    func f { block 0: fence.acq; fence.acqrel; x.na := 1; ret; }
+    func g { block 0: r := x.na; print(r); ret; }
+    thread f; thread g;)"));
+  // Index 0: the leading acq fence is itself dominated/trailing-dropped
+  // or kept depending on the rules; the acqrel at index 1 must demote.
+  const FenceFinding *Demoted = nullptr;
+  for (const FenceFinding &F : R.dominatedFences())
+    if (F.Index == 1)
+      Demoted = &F;
+  ASSERT_NE(Demoted, nullptr);
+  EXPECT_FALSE(Demoted->Dropped);
+  EXPECT_EQ(Demoted->Orig, FenceMode::ACQREL);
+  EXPECT_EQ(Demoted->Demoted, FenceMode::REL);
+}
+
+TEST(LintTest, NeverReadAtomicIsReported) {
+  LintReport R(parse(R"(var a atomic; var b atomic;
+    func t1 { block 0: a.rel := 1; ret; }
+    thread t1;)"));
+  ASSERT_EQ(R.neverReadAtomics().size(), 2u);
+  // Deterministic var order: a (written, never read) then b (untouched).
+  EXPECT_EQ(R.neverReadAtomics()[0].Var, VarId("a"));
+  EXPECT_TRUE(R.neverReadAtomics()[0].Written);
+  EXPECT_EQ(R.neverReadAtomics()[1].Var, VarId("b"));
+  EXPECT_FALSE(R.neverReadAtomics()[1].Written);
+}
+
+TEST(LintTest, TextRenderingNamesEveryFinding) {
+  LintReport R(parse(R"(var x; var a atomic;
+    func t1 { block 0: x.na := 1; a.rlx := 1; ret; }
+    func t2 { block 0: x.na := 2; r := a.acq; r2 := a.rlx;
+              print(r + r2); ret; }
+    thread t1; thread t2;)"));
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("race-candidate[ww]: x"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("mixed-mode: a"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("summary: 1 race candidate"), std::string::npos)
+      << Text;
+}
+
+TEST(LintTest, JsonGoldenCleanProgram) {
+  LintReport R(parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)"));
+  const char *Golden = R"({
+  "program": {"threads": 2, "atomics": ["flag"]},
+  "race_candidates": [],
+  "sync_orders": [
+    {"flag": "flag", "publisher": 0, "published": ["data"], "confirmers": [{"thread": 1, "guarded": ["data"]}]}
+  ],
+  "mixed_mode": [],
+  "dominated_fences": [],
+  "never_read_atomics": [],
+  "summary": {"race_candidates": 0, "sync_orders": 1, "mixed_mode": 0, "dominated_fences": 0, "never_read_atomics": 0}
+}
+)";
+  EXPECT_EQ(R.renderJson(), Golden);
+}
+
+TEST(LintTest, JsonGoldenRacyProgram) {
+  LintReport R(parse(R"(var x;
+    func t1 { block 0: x.na := 1; ret; }
+    func t2 { block 0: r := x.na; print(r); ret; }
+    thread t1; thread t2;)"));
+  const char *Golden = R"({
+  "program": {"threads": 2, "atomics": []},
+  "race_candidates": [
+    {"var": "x", "threads": [0, 1], "kind": "rw", "first": {"reads":[],"writes":["na"],"cas":false}, "second": {"reads":["na"],"writes":[],"cas":false}}
+  ],
+  "sync_orders": [],
+  "mixed_mode": [],
+  "dominated_fences": [],
+  "never_read_atomics": [],
+  "summary": {"race_candidates": 1, "sync_orders": 0, "mixed_mode": 0, "dominated_fences": 0, "never_read_atomics": 0}
+}
+)";
+  EXPECT_EQ(R.renderJson(), Golden);
+}
+
+TEST(LintTest, JsonIsWellBracketed) {
+  // Structural smoke test over a program that exercises every array.
+  LintReport R(parse(R"(var x; var a atomic; var dead atomic;
+    func t1 { block 0: x.na := 1; a.rlx := 1; fence.acq; fence.acq;
+              dead.rel := 1; ret; }
+    func t2 { block 0: x.na := 2; r := a.acq; r2 := a.rlx;
+              print(r + r2); ret; }
+    thread t1; thread t2;)"));
+  std::string J = R.renderJson();
+  long Depth = 0;
+  for (char C : J) {
+    if (C == '{' || C == '[')
+      ++Depth;
+    if (C == '}' || C == ']')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_NE(J.find("\"kind\": \"ww\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"never_read_atomics\": [\n    {\"var\": \"dead\""),
+            std::string::npos)
+      << J;
+}
+
+} // namespace
+} // namespace psopt

@@ -1,0 +1,266 @@
+//===- tests/analysis/StaticRaceTest.cpp - Static race analysis tests ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// StaticRaceAnalysis: candidate pairs with their ww/rw orientation
+/// summaries, and the release/acquire sync-chain recognizer that
+/// suppresses properly published message-passing pairs (both the
+/// access-ordering and the fence-based discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticRace.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace psopt {
+namespace {
+
+Program parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return *R.Prog;
+}
+
+/// Builds the analysis (the FootprintAnalysis must outlive it, so both
+/// live here).
+struct Built {
+  FootprintAnalysis FA;
+  StaticRaceAnalysis SR;
+  explicit Built(const Program &P) : FA(P), SR(FA) {}
+};
+
+const RaceCandidate *findCandidate(const StaticRaceAnalysis &SR, VarId X) {
+  for (const RaceCandidate &C : SR.candidates())
+    if (C.Var == X)
+      return &C;
+  return nullptr;
+}
+
+TEST(StaticRaceTest, WWConflictIsACandidate) {
+  Program P = parse(R"(var x;
+    func t1 { block 0: x.na := 1; ret; }
+    func t2 { block 0: x.na := 2; ret; }
+    thread t1; thread t2;)");
+  Built B(P);
+  ASSERT_EQ(B.SR.candidates().size(), 1u);
+  const RaceCandidate &C = B.SR.candidates()[0];
+  EXPECT_EQ(C.Var, VarId("x"));
+  EXPECT_EQ(C.A, 0);
+  EXPECT_EQ(C.B, 1);
+  EXPECT_TRUE(C.MayWW);
+  EXPECT_FALSE(C.MayRW) << "neither side reads";
+  EXPECT_TRUE(B.SR.mayRace());
+}
+
+TEST(StaticRaceTest, RWConflictIsACandidate) {
+  Program P = parse(R"(var x;
+    func t1 { block 0: x.na := 1; ret; }
+    func t2 { block 0: r := x.na; print(r); ret; }
+    thread t1; thread t2;)");
+  Built B(P);
+  const RaceCandidate *C = findCandidate(B.SR, VarId("x"));
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->MayRW);
+  EXPECT_FALSE(C->MayWW) << "the reader never writes";
+}
+
+TEST(StaticRaceTest, AtomicOnlyAccessesAreNoCandidate) {
+  // Both sides access a atomically — the dynamic predicates need an na
+  // access on one side.
+  Program P = parse(R"(var a atomic;
+    func t1 { block 0: a.rlx := 1; ret; }
+    func t2 { block 0: r := a.rlx; print(r); ret; }
+    thread t1; thread t2;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty());
+  EXPECT_FALSE(B.SR.mayRace());
+}
+
+TEST(StaticRaceTest, ReadersOnlyAreNoCandidate) {
+  Program P = parse(R"(var x;
+    func t1 { block 0: r := x.na; print(r); ret; }
+    func t2 { block 0: r := x.na; print(r); ret; }
+    thread t1; thread t2;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty());
+}
+
+TEST(StaticRaceTest, ReleaseAcquireMpIsRecognized) {
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty())
+      << "the rel/acq chain orders the pair";
+  ASSERT_EQ(B.SR.syncOrders().size(), 1u);
+  const SyncOrder &SO = B.SR.syncOrders()[0];
+  EXPECT_EQ(SO.Flag, VarId("flag"));
+  EXPECT_EQ(SO.Publisher, 0);
+  EXPECT_TRUE(SO.Published.count(VarId("data")));
+  ASSERT_TRUE(SO.Guarded.count(1));
+  EXPECT_TRUE(SO.Guarded.at(1).count(VarId("data")));
+  EXPECT_TRUE(B.SR.ordered(0, 1, VarId("data")));
+  EXPECT_FALSE(B.SR.ordered(1, 0, VarId("data")));
+}
+
+TEST(StaticRaceTest, FenceMpIsRecognized) {
+  // The fence discipline: rel fence + rlx flag store on the publisher,
+  // rlx flag load + acq fence on the confirmer.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; fence.rel; flag.rlx := 1; ret; }
+    func consumer { block 0: r := flag.rlx; fence.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty()) << "fence MP is the same chain";
+  ASSERT_EQ(B.SR.syncOrders().size(), 1u);
+  EXPECT_TRUE(B.SR.ordered(0, 1, VarId("data")));
+}
+
+TEST(StaticRaceTest, RelaxedFlagWithoutFenceIsNoChain) {
+  // Publisher side broken: the rlx flag store is not fence-covered.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rlx := 1; ret; }
+    func consumer { block 0: r := flag.rlx; fence.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, MissingAcquireOnTheConfirmerIsNoChain) {
+  // Confirmer side broken: the rlx flag load is never published by an
+  // acq fence, so the branch confirms nothing.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.rlx; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, PublisherAccessAfterTheFlagIsNoChain) {
+  // The Fig 15 dead-store shape *with the overwrite after the flag*:
+  // data is touched at a possibly-published point, so it is unprotected.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 1; flag.rel := 1; data.na := 2;
+                    ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, UnguardedConfirmerAccessIsNoChain) {
+  // The consumer touches data before confirming the flag.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: e := data.na; r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v + e); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, ElseEdgeConfirmsZeroTest) {
+  // `be r == 0, empty, guarded`: the *else* edge carries r != 0.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r == 0, 2, 1;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty()) << "else-edge confirmation";
+  EXPECT_TRUE(B.SR.ordered(0, 1, VarId("data")));
+}
+
+TEST(StaticRaceTest, BareRegisterConditionConfirms) {
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.candidates().empty());
+}
+
+TEST(StaticRaceTest, ZeroTokenPublicationIsNoChain) {
+  // Storing 0 into the flag is indistinguishable from the initial value:
+  // the confirmer's non-zero test can never observe it.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 0; ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.syncOrders().empty());
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, MultiWriterFlagIsNoChain) {
+  // Both threads store the flag: no unique publisher.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: flag.rel := 2; r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.syncOrders().empty());
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, CasedFlagIsNoChain) {
+  // The flag has a single writer, but through a CAS — the recognizer
+  // refuses (a CAS'd token is not the plain-store discipline it argues
+  // about).
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42;
+                    c := cas(flag, 0, 1, rlx, rel); print(c); ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    thread producer; thread consumer;)");
+  Built B(P);
+  EXPECT_TRUE(B.SR.syncOrders().empty());
+  EXPECT_NE(findCandidate(B.SR, VarId("data")), nullptr);
+}
+
+TEST(StaticRaceTest, ThreeThreadsOnlyTheConfirmerIsOrdered) {
+  // A third thread reads data with no flag discipline: the (0, 2) pair
+  // stays a candidate while (0, 1) is ordered away.
+  Program P = parse(R"(var data; var flag atomic;
+    func producer { block 0: data.na := 42; flag.rel := 1; ret; }
+    func consumer { block 0: r := flag.acq; be r == 1, 1, 2;
+                    block 1: v := data.na; print(v); ret;
+                    block 2: print(-1); ret; }
+    func rogue { block 0: w := data.na; print(w); ret; }
+    thread producer; thread consumer; thread rogue;)");
+  Built B(P);
+  ASSERT_EQ(B.SR.candidates().size(), 1u);
+  const RaceCandidate &C = B.SR.candidates()[0];
+  EXPECT_EQ(C.Var, VarId("data"));
+  EXPECT_EQ(C.A, 0);
+  EXPECT_EQ(C.B, 2);
+  EXPECT_TRUE(C.MayRW);
+}
+
+} // namespace
+} // namespace psopt

@@ -40,19 +40,28 @@ const unsigned JobCounts[] = {2, 8};
 /// Reduced and unreduced exploration agree on the behavior sets; each
 /// setting is bit-identical across the sequential and parallel engines.
 void expectReductionSound(const Program &P, const StepConfig &SC) {
-  ExploreConfig On, Off;
+  ExploreConfig On, Legacy, Off;
   On.Reduce = true;
+  Legacy.Reduce = true;
+  Legacy.AnalysisFusion = false; // --reduce=legacy: pre-analysis fusion
   Off.Reduce = false;
   BehaviorSet ROn = exploreInterleaving(P, SC, On);
+  BehaviorSet RLeg = exploreInterleaving(P, SC, Legacy);
   BehaviorSet ROff = exploreInterleaving(P, SC, Off);
   EXPECT_TRUE(ROn.sameBehaviors(ROff)) << "reduce=on vs reduce=off";
+  EXPECT_TRUE(RLeg.sameBehaviors(ROff)) << "reduce=legacy vs reduce=off";
   // Reduction only merges and prunes; it can never grow the node graph.
-  EXPECT_LE(ROn.NodesVisited, ROff.NodesVisited);
+  // The analysis facts strictly extend the fusible step set, so fusion
+  // can only shrink the reduced graph further.
+  EXPECT_LE(ROn.NodesVisited, RLeg.NodesVisited);
+  EXPECT_LE(RLeg.NodesVisited, ROff.NodesVisited);
   for (unsigned K : JobCounts) {
-    ExploreConfig OnK = On, OffK = Off;
-    OnK.Jobs = OffK.Jobs = K;
+    ExploreConfig OnK = On, LegK = Legacy, OffK = Off;
+    OnK.Jobs = LegK.Jobs = OffK.Jobs = K;
     EXPECT_TRUE(exploreInterleaving(P, SC, OnK) == ROn)
         << "reduce=on, jobs=" << K;
+    EXPECT_TRUE(exploreInterleaving(P, SC, LegK) == RLeg)
+        << "reduce=legacy, jobs=" << K;
     EXPECT_TRUE(exploreInterleaving(P, SC, OffK) == ROff)
         << "reduce=off, jobs=" << K;
   }
@@ -133,6 +142,34 @@ TEST(ReductionEquivalenceTest, ReductionActuallyPrunes) {
   EXPECT_LE(ROn.NodesVisited * 5, ROff.NodesVisited);
   EXPECT_GT(detail::numReductionAmpleNodes().value(), Ample0);
   EXPECT_GT(detail::numReductionSleepSkips().value(), Skips0);
+}
+
+TEST(ReductionEquivalenceTest, AnalysisFusionShrinksPrivateStoreWorkload) {
+  // The bench_scale private-store ablation as a regression test: threads
+  // made mostly of stores to their own private variables. The legacy
+  // reduction must schedule every store (memory-mutating steps were never
+  // fusible pre-analysis); exclusive-write fusion collapses them, so the
+  // analysis-guided graph must be well over 5x smaller with identical
+  // behaviors.
+  ScaleWorkloadConfig WC;
+  WC.Seed = 19;
+  WC.NumThreads = 3;
+  WC.FillerPerThread = 5;
+  WC.PrivateStoresPerThread = 12;
+  WC.Skeletons = 1;
+  Program P = generateScaleWorkload(WC);
+  StepConfig SC;
+  SC.EnablePromises = false;
+  ExploreConfig On, Legacy;
+  On.Reduce = Legacy.Reduce = true;
+  Legacy.AnalysisFusion = false;
+  BehaviorSet ROn = exploreInterleaving(P, SC, On);
+  BehaviorSet RLeg = exploreInterleaving(P, SC, Legacy);
+  ASSERT_TRUE(ROn.Exhausted);
+  ASSERT_TRUE(RLeg.Exhausted);
+  EXPECT_TRUE(ROn.sameBehaviors(RLeg));
+  EXPECT_LE(ROn.NodesVisited * 5, RLeg.NodesVisited)
+      << "exclusive-write fusion should collapse the private stores";
 }
 
 TEST(ReductionEquivalenceTest, TerminatedThreadProjectionMergesStates) {

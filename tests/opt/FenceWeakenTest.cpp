@@ -24,7 +24,9 @@ TEST(FenceWeakenTest, DropsAcqFenceDominatedByAcqFence) {
   // Back-to-back acq fences: the second finds Acq still ⊥.
   Program P = parseProgramOrDie(R"(var d; var a atomic;
     func f { block 0: r := a.rlx; fence.acq; fence.acq; r2 := d.na;
-                      print(r + r2); ret; } thread f;)");
+                      print(r + r2); ret; }
+    func g { block 0: d.na := 1; a.rlx := 1; ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   EXPECT_TRUE(B.instructions()[1].isFence());
@@ -37,7 +39,9 @@ TEST(FenceWeakenTest, LoadBetweenAcqFencesKeepsBoth) {
   // publishes it. Dropping it is exactly what the unsafe twin does.
   Program P = parseProgramOrDie(R"(var d; var a atomic;
     func f { block 0: fence.acq; r := a.rlx; fence.acq; r2 := d.na;
-                      print(r + r2); ret; } thread f;)");
+                      print(r + r2); ret; }
+    func g { block 0: d.na := 1; a.rlx := 1; ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   EXPECT_TRUE(B.instructions()[0].isFence());
@@ -49,7 +53,8 @@ TEST(FenceWeakenTest, DropsRelFenceDominatedByRelFence) {
   // the first one again. The trailing store defeats R2, isolating R1.
   Program P = parseProgramOrDie(R"(var x;
     func f { block 0: fence.rel; skip; fence.rel; x.na := 1; ret; }
-    thread f;)");
+    func g { block 0: r := x.na; print(r); ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   EXPECT_TRUE(B.instructions()[0].isFence());
@@ -62,7 +67,8 @@ TEST(FenceWeakenTest, StoreBetweenRelFencesKeepsBoth) {
   // snapshots something new.
   Program P = parseProgramOrDie(R"(var x; var y;
     func f { block 0: fence.rel; x.na := 1; fence.rel; y.na := 1; ret; }
-    thread f;)");
+    func g { block 0: r := x.na; r2 := y.na; print(r + r2); ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   EXPECT_TRUE(B.instructions()[0].isFence());
@@ -72,7 +78,8 @@ TEST(FenceWeakenTest, StoreBetweenRelFencesKeepsBoth) {
 TEST(FenceWeakenTest, AcqrelDominatedOnAcqSideDemotesToRel) {
   Program P = parseProgramOrDie(R"(var x;
     func f { block 0: fence.acq; fence.acqrel; x.na := 1; ret; }
-    thread f;)");
+    func g { block 0: r := x.na; print(r); ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   ASSERT_TRUE(B.instructions()[1].isFence());
@@ -105,7 +112,9 @@ TEST(FenceWeakenTest, TrailingAcqrelAboveLoadsDemotesToAcq) {
   // consumed by the trailing load: judge the sides separately.
   Program P = parseProgramOrDie(R"(var d; var a atomic;
     func f { block 0: r := a.rlx; fence.acqrel; r2 := d.na;
-                      print(r + r2); ret; } thread f;)");
+                      print(r + r2); ret; }
+    func g { block 0: d.na := 1; a.rlx := 1; ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
   ASSERT_TRUE(B.instructions()[1].isFence());
@@ -115,11 +124,28 @@ TEST(FenceWeakenTest, TrailingAcqrelAboveLoadsDemotesToAcq) {
 
 TEST(FenceWeakenTest, FenceBeforeAStoreIsKept) {
   // A rel fence followed by a store is the publication idiom — never
-  // dropped, even at the end of a block.
+  // dropped, even at the end of a block. (The consumer thread makes the
+  // payload and flag shared.)
   Program P = parseProgramOrDie(R"(var d; var a atomic;
-    func f { block 0: d.na := 1; fence.rel; a.rlx := 1; ret; } thread f;)");
+    func f { block 0: d.na := 1; fence.rel; a.rlx := 1; ret; }
+    func g { block 0: r := a.rlx; r2 := d.na; print((r * 10) + r2); ret; }
+    thread f; thread g;)");
   Program T = createFenceWeaken()->run(P);
   EXPECT_TRUE(T == P) << printProgram(T);
+}
+
+TEST(FenceWeakenTest, PrivateAccessesAreTransparentToBothRules) {
+  // Every location is private to the single thread: its loads bank
+  // nothing new, its stores raise V only at coordinates no peer ever
+  // consults, so both fences are no-ops and die.
+  Program P = parseProgramOrDie(R"(var x; var a atomic;
+    func f { block 0: r := a.rlx; fence.acq; x.na := 1; fence.rel;
+                      x.na := 2; print(r); ret; } thread f;)");
+  Program T = createFenceWeaken()->run(P);
+  const BasicBlock &B = firstFunction(T).block(0);
+  EXPECT_TRUE(B.instructions()[1].isSkip()) << printProgram(T);
+  EXPECT_TRUE(B.instructions()[3].isSkip()) << printProgram(T);
+  EXPECT_TRUE(expectPassCorrectAllEngines(*createFenceWeaken(), P));
 }
 
 TEST(FenceWeakenTest, UnsafeTwinDropsFenceAfterLoadAndBreaksRefinement) {

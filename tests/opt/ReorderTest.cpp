@@ -45,11 +45,30 @@ TEST(ReorderTest, HoistsLoadAboveReleaseStore) {
 
 TEST(ReorderTest, NeverHoistsAcrossAnAcquireLoad) {
   // The Fig 1 restriction: the hoisted access could observe state the
-  // acquire had not yet published.
+  // acquire had not yet published. (The publisher thread makes d and a
+  // shared — a private acquire would be no barrier.)
   Program P = parseProgramOrDie(R"(var d; var a atomic;
-    func f { block 0: r := a.acq; r2 := d.na; print(r2); ret; } thread f;)");
+    func f { block 0: r := a.acq; r2 := d.na; print(r2); ret; }
+    func g { block 0: d.na := 1; a.rel := 1; ret; }
+    thread f; thread g;)");
   Program T = createReorder()->run(P);
   EXPECT_TRUE(T == P) << printProgram(T);
+}
+
+TEST(ReorderTest, PrivateAcquireLoadIsNoHoistBarrier) {
+  // a is touched only by f's thread: every message it can acquire is its
+  // own, so the acquire publishes nothing and the na load hoists.
+  Program P = parseProgramOrDie(R"(var d; var a atomic;
+    func f { block 0: r := a.acq; r2 := d.na; print(r2); ret; }
+    func g { block 0: d.na := 1; ret; }
+    thread f; thread g;)");
+  Program T = createReorder()->run(P);
+  const BasicBlock &B = T.function(FuncId("f")).block(0);
+  ASSERT_TRUE(B.instructions()[0].isLoad());
+  EXPECT_EQ(B.instructions()[0].readMode(), ReadMode::NA)
+      << "the na load should hoist above the private acquire:\n"
+      << printProgram(T);
+  EXPECT_TRUE(expectPassCorrectAllEngines(*createReorder(), P));
 }
 
 TEST(ReorderTest, RespectsRegisterDependence) {
@@ -84,7 +103,26 @@ TEST(ReorderTest, CasPrintAndFencesAreImmovable) {
 
 TEST(ReorderTest, DelayFuelBoundsStoreSinking) {
   // A store sinks past at most DelayFuel = 8 loads (the strictly
-  // decreasing delayed-write indices of Fig 14), then wedges.
+  // decreasing delayed-write indices of Fig 14), then wedges. (The peer
+  // reader makes x shared — a private store would sink without fuel.)
+  std::string Src = "var x; var y; var z;\n  func f { block 0: x.na := 1;";
+  for (int I = 0; I < 10; ++I)
+    Src += " r" + std::to_string(I) + " := " + (I % 2 ? "y" : "z") + ".na;";
+  Src += " ret; }\n  func g { block 0: r := x.na; print(r); ret; }\n"
+         "  thread f; thread g;";
+  Program P = parseProgramOrDie(Src);
+  Program T = createReorder()->run(P);
+  const BasicBlock &B = T.function(FuncId("f")).block(0);
+  for (std::size_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(B.instructions()[I].isLoad()) << "index " << I;
+  EXPECT_TRUE(B.instructions()[8].isStore()) << "fuel exhausted at 8";
+  EXPECT_TRUE(B.instructions()[9].isLoad());
+  EXPECT_TRUE(B.instructions()[10].isLoad());
+}
+
+TEST(ReorderTest, PrivateStoreSinksWithoutFuel) {
+  // With x private to the single thread there is no delayed-write set to
+  // bound: the store sinks below every load.
   std::string Src = "var x; var y; var z;\n  func f { block 0: x.na := 1;";
   for (int I = 0; I < 10; ++I)
     Src += " r" + std::to_string(I) + " := " + (I % 2 ? "y" : "z") + ".na;";
@@ -92,11 +130,9 @@ TEST(ReorderTest, DelayFuelBoundsStoreSinking) {
   Program P = parseProgramOrDie(Src);
   Program T = createReorder()->run(P);
   const BasicBlock &B = firstFunction(T).block(0);
-  for (std::size_t I = 0; I < 8; ++I)
+  for (std::size_t I = 0; I < 10; ++I)
     EXPECT_TRUE(B.instructions()[I].isLoad()) << "index " << I;
-  EXPECT_TRUE(B.instructions()[8].isStore()) << "fuel exhausted at 8";
-  EXPECT_TRUE(B.instructions()[9].isLoad());
-  EXPECT_TRUE(B.instructions()[10].isLoad());
+  EXPECT_TRUE(B.instructions()[10].isStore()) << printProgram(T);
 }
 
 TEST(ReorderTest, UnsafeTwinHoistsAcrossAcquireAndBreaksRefinement) {

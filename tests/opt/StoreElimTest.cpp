@@ -50,9 +50,12 @@ TEST(StoreElimTest, InterveningLoadKeepsStore) {
 TEST(StoreElimTest, ReleaseStoreKeepsStore) {
   // The Fig 15 dual: the release publishes x = 1, and an acquiring
   // reader may demand it; killing the store would let that reader see
-  // the initial value instead.
+  // the initial value instead. (The reader thread makes x shared — a
+  // private x would waive the boundary.)
   Program P = parseProgramOrDie(R"(var x; var a atomic;
-    func f { block 0: x.na := 1; a.rel := 1; x.na := 2; ret; } thread f;)");
+    func f { block 0: x.na := 1; a.rel := 1; x.na := 2; ret; }
+    func g { block 0: r := a.acq; r2 := x.na; print(r2); ret; }
+    thread f; thread g;)");
   Program T = createStoreElim()->run(P);
   EXPECT_TRUE(T == P) << printProgram(T);
 }
@@ -64,10 +67,25 @@ TEST(StoreElimTest, RelFenceKeepsStore) {
     Program P = parseProgramOrDie(std::string(R"(var x; var a atomic;
       func f { block 0: x.na := 1; fence.)") + Mode +
                                   R"(; a.rlx := 1; x.na := 2; ret; }
-      thread f;)");
+      func g { block 0: r := a.acq; r2 := x.na; print(r2); ret; }
+      thread f; thread g;)");
     Program T = createStoreElim()->run(P);
     EXPECT_TRUE(T == P) << Mode << ":\n" << printProgram(T);
   }
+}
+
+TEST(StoreElimTest, PrivateStoreDiesAcrossReleaseBoundaries) {
+  // x is touched only by f's thread: no reader exists for the release or
+  // the fence to publish x = 1 to, so both boundaries are waived and the
+  // overwritten store dies.
+  Program P = parseProgramOrDie(R"(var x; var a atomic;
+    func f { block 0: x.na := 1; a.rel := 1; fence.rel; x.na := 2; ret; }
+    func g { block 0: r := a.acq; print(r); ret; }
+    thread f; thread g;)");
+  Program T = createStoreElim()->run(P);
+  EXPECT_TRUE(T.function(FuncId("f")).block(0).instructions()[0].isSkip())
+      << printProgram(T);
+  EXPECT_TRUE(expectPassCorrectAllEngines(*createStoreElim(), P));
 }
 
 TEST(StoreElimTest, AcqFenceIsNoBoundary) {
@@ -80,10 +98,14 @@ TEST(StoreElimTest, AcqFenceIsNoBoundary) {
 }
 
 TEST(StoreElimTest, CasIsABarrierEvenForTheUnsafeTwin) {
-  // A CAS write part may be a release; both variants stop at it.
+  // A CAS write part may be a release; both variants stop at it. (The
+  // reader thread makes x shared — for a private x the CAS would be
+  // crossed like any other unobservable boundary.)
   Program P = parseProgramOrDie(R"(var x; var a atomic;
     func f { block 0: x.na := 1; r := cas(a, 0, 1, rlx, rlx); x.na := 2;
-                      print(r); ret; } thread f;)");
+                      print(r); ret; }
+    func g { block 0: r2 := x.na; print(r2); ret; }
+    thread f; thread g;)");
   EXPECT_TRUE(createStoreElim()->run(P) == P);
   EXPECT_TRUE(createUnsafeStoreElim()->run(P) == P);
 }

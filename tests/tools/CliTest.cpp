@@ -93,6 +93,50 @@ TEST(CliTest, RaceVerdicts) {
   EXPECT_NE(R2.Output.find("witness:"), std::string::npos);
 }
 
+TEST(CliTest, LintCleanProgramExitsZero) {
+  std::string P = writeTemp("cli_lint_clean.psopt", MpProgram);
+  CliResult R = runCli("lint " + P);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("sync-order: flag flag"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("summary: 0 race candidates"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, LintRacyProgramExitsOne) {
+  std::string P = writeTemp("cli_lint_racy.psopt", RacyProgram);
+  CliResult R = runCli("lint " + P);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("race-candidate[ww]: x"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, LintJsonFormat) {
+  std::string P = writeTemp("cli_lint_json.psopt", RacyProgram);
+  CliResult R = runCli("lint --format=json " + P);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("\"race_candidates\": ["), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"kind\": \"ww\""), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find("race-candidate["), std::string::npos)
+      << "text rendering leaked into JSON mode:\n"
+      << R.Output;
+}
+
+TEST(CliTest, ExploreReduceSettingsAgree) {
+  std::string P = writeTemp("cli_reduce.psopt", MpProgram);
+  CliResult On = runCli("explore --reduce=on " + P);
+  CliResult Legacy = runCli("explore --reduce=legacy " + P);
+  CliResult Off = runCli("explore --reduce=off " + P);
+  EXPECT_EQ(On.ExitCode, 0);
+  EXPECT_EQ(Legacy.ExitCode, 0);
+  EXPECT_EQ(Off.ExitCode, 0);
+  for (const CliResult *R : {&On, &Legacy, &Off}) {
+    EXPECT_NE(R->Output.find("[42] done"), std::string::npos) << R->Output;
+    EXPECT_NE(R->Output.find("[-1] done"), std::string::npos) << R->Output;
+  }
+}
+
 TEST(CliTest, OptimizeRunsPasses) {
   std::string P = writeTemp("cli_opt.psopt", R"(
     var x;

@@ -10,6 +10,9 @@
 //       enumerate all behaviors (interleaving or non-preemptive machine)
 //   psopt race     <file> [--np] [--rw] [--no-promises] [--jobs=N]
 //       check write-write (or read-write) race freedom
+//   psopt lint     <file> [--format=text|json]
+//       static diagnostics: race candidates, sync chains, mixed-mode
+//       atomics, dominated fences, never-read atomics
 //   psopt optimize <file> --passes=constprop,dce,cse,licm,simplifycfg
 //       run passes and print the optimized program
 //   psopt refine   <target> <source> [--no-promises] [--jobs=N]
@@ -26,14 +29,17 @@
 //       differential-fuzz the optimizer against the exploration oracle;
 //       --replay re-checks a directory of stored reproducers instead
 //
-// explore/race/refine/equiv additionally accept --cert-cache=on|off
-// (default on): memoize certification verdicts across machine steps, and
-// --reduce=on|off (default on): equivalence-class schedule reduction in
-// the explorer (behavior-identical; see DESIGN.md section 10). --stats
+// Flag parsing is table-driven: one FlagSpec per flag, one CommandSpec per
+// command naming the flags it accepts — a flag a command doesn't list is
+// rejected instead of silently ignored. explore/refine/equiv/fuzz accept
+// --cert-cache=on|off (default on) and --reduce=on|off|legacy (default on;
+// `legacy` disables the footprint-analysis-guided fusion inside the
+// reduction, for ablations — see DESIGN.md sections 10 and 13). --stats
 // prints the internal statistic counters after any command.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "explore/Explorer.h"
 #include "explore/Refinement.h"
 #include "explore/Witness.h"
@@ -66,6 +72,7 @@ struct Options {
   bool RwRace = false;
   bool CertCacheOn = true;
   bool ReduceOn = true;
+  bool AnalysisFusion = true; ///< --reduce=legacy turns this off
   bool Stats = false;
   std::uint64_t MaxNodes = 2'000'000;
   bool MaxNodesSet = false;
@@ -73,6 +80,7 @@ struct Options {
   std::string Passes;
   std::string TraceSpec;
   std::string End = "done";
+  std::string Format = "text";
 
   // fuzz
   std::uint64_t Seed = 1;
@@ -84,6 +92,220 @@ struct Options {
   std::string CorpusDir;
   std::string ReplayDir;
 };
+
+bool parseU64(const std::string &S, std::uint64_t &Out) {
+  if (S.empty())
+    return false;
+  std::uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<std::uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+/// Every flag the driver knows, across all commands.
+enum class Flag {
+  Np,
+  NoPromises,
+  Rw,
+  CertCache,
+  Reduce,
+  Stats,
+  MaxNodes,
+  Jobs,
+  Passes,
+  Trace,
+  End,
+  Format,
+  Seed,
+  Runs,
+  Promises,
+  NoShrink,
+  NoDifferential,
+  TimeBudget,
+  Corpus,
+  Replay,
+};
+
+/// One flag: its spelling (a trailing '=' means it takes a value) and how
+/// it updates the options. Apply returns false on a malformed value.
+struct FlagSpec {
+  Flag F;
+  const char *Spelling;
+  bool (*Apply)(Options &, const std::string &);
+};
+
+const FlagSpec FlagTable[] = {
+    {Flag::Np, "--np",
+     [](Options &O, const std::string &) {
+       O.NonPreemptive = true;
+       return true;
+     }},
+    {Flag::NoPromises, "--no-promises",
+     [](Options &O, const std::string &) {
+       O.NoPromises = true;
+       return true;
+     }},
+    {Flag::Rw, "--rw",
+     [](Options &O, const std::string &) {
+       O.RwRace = true;
+       return true;
+     }},
+    {Flag::CertCache, "--cert-cache=",
+     [](Options &O, const std::string &V) {
+       if (V != "on" && V != "off")
+         return false;
+       O.CertCacheOn = V == "on";
+       return true;
+     }},
+    {Flag::Reduce, "--reduce=",
+     [](Options &O, const std::string &V) {
+       if (V != "on" && V != "off" && V != "legacy")
+         return false;
+       O.ReduceOn = V != "off";
+       O.AnalysisFusion = V == "on";
+       return true;
+     }},
+    {Flag::Stats, "--stats",
+     [](Options &O, const std::string &) {
+       O.Stats = true;
+       return true;
+     }},
+    {Flag::MaxNodes, "--max-nodes=",
+     [](Options &O, const std::string &V) {
+       if (!parseU64(V, O.MaxNodes))
+         return false;
+       O.MaxNodesSet = true;
+       return true;
+     }},
+    {Flag::Jobs, "--jobs=",
+     [](Options &O, const std::string &V) {
+       std::uint64_t N;
+       if (!parseU64(V, N) || N == 0 || N > 1024)
+         return false;
+       O.Jobs = static_cast<unsigned>(N);
+       return true;
+     }},
+    {Flag::Passes, "--passes=",
+     [](Options &O, const std::string &V) {
+       O.Passes = V;
+       return true;
+     }},
+    {Flag::Trace, "--trace=",
+     [](Options &O, const std::string &V) {
+       O.TraceSpec = V;
+       return true;
+     }},
+    {Flag::End, "--end=",
+     [](Options &O, const std::string &V) {
+       if (V != "done" && V != "abort" && V != "partial")
+         return false;
+       O.End = V;
+       return true;
+     }},
+    {Flag::Format, "--format=",
+     [](Options &O, const std::string &V) {
+       if (V != "text" && V != "json")
+         return false;
+       O.Format = V;
+       return true;
+     }},
+    {Flag::Seed, "--seed=",
+     [](Options &O, const std::string &V) { return parseU64(V, O.Seed); }},
+    {Flag::Runs, "--runs=",
+     [](Options &O, const std::string &V) {
+       std::uint64_t N;
+       if (!parseU64(V, N))
+         return false;
+       O.Runs = static_cast<unsigned>(N);
+       return true;
+     }},
+    {Flag::Promises, "--promises",
+     [](Options &O, const std::string &) {
+       O.Promises = true;
+       return true;
+     }},
+    {Flag::NoShrink, "--no-shrink",
+     [](Options &O, const std::string &) {
+       O.Shrink = false;
+       return true;
+     }},
+    {Flag::NoDifferential, "--no-differential",
+     [](Options &O, const std::string &) {
+       O.Differential = false;
+       return true;
+     }},
+    {Flag::TimeBudget, "--time-budget=",
+     [](Options &O, const std::string &V) {
+       std::uint64_t N;
+       if (!parseU64(V, N))
+         return false;
+       O.TimeBudgetSec = static_cast<unsigned>(N);
+       return true;
+     }},
+    {Flag::Corpus, "--corpus=",
+     [](Options &O, const std::string &V) {
+       O.CorpusDir = V;
+       return true;
+     }},
+    {Flag::Replay, "--replay=",
+     [](Options &O, const std::string &V) {
+       O.ReplayDir = V;
+       return true;
+     }},
+};
+
+int cmdExplore(const Options &O);
+int cmdRace(const Options &O);
+int cmdLint(const Options &O);
+int cmdOptimize(const Options &O);
+int cmdRefine(const Options &O);
+int cmdEquiv(const Options &O);
+int cmdWitness(const Options &O);
+int cmdLitmus(const Options &O);
+int cmdFuzz(const Options &O);
+
+/// One subcommand: which flags it accepts (anything else is an error) and
+/// how many positional arguments it takes.
+struct CommandSpec {
+  const char *Name;
+  int (*Handler)(const Options &);
+  unsigned MinPositional;
+  unsigned MaxPositional;
+  std::vector<Flag> Flags;
+};
+
+const std::vector<CommandSpec> &commandTable() {
+  static const std::vector<CommandSpec> Table = {
+      {"explore", cmdExplore, 1, 1,
+       {Flag::Np, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
+        Flag::CertCache, Flag::Reduce, Flag::Stats}},
+      {"race", cmdRace, 1, 1,
+       {Flag::Np, Flag::Rw, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
+        Flag::CertCache, Flag::Stats}},
+      {"lint", cmdLint, 1, 1, {Flag::Format, Flag::Stats}},
+      {"optimize", cmdOptimize, 1, 1, {Flag::Passes, Flag::Stats}},
+      {"refine", cmdRefine, 2, 2,
+       {Flag::Np, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
+        Flag::CertCache, Flag::Reduce, Flag::Stats}},
+      {"equiv", cmdEquiv, 1, 1,
+       {Flag::NoPromises, Flag::MaxNodes, Flag::Jobs, Flag::CertCache,
+        Flag::Reduce, Flag::Stats}},
+      {"witness", cmdWitness, 1, 1,
+       {Flag::Np, Flag::NoPromises, Flag::Trace, Flag::End, Flag::MaxNodes,
+        Flag::CertCache, Flag::Stats}},
+      {"litmus", cmdLitmus, 0, 1, {Flag::Stats}},
+      {"fuzz", cmdFuzz, 0, 0,
+       {Flag::Seed, Flag::Runs, Flag::Jobs, Flag::Passes, Flag::Promises,
+        Flag::NoShrink, Flag::NoDifferential, Flag::TimeBudget, Flag::Corpus,
+        Flag::Replay, Flag::MaxNodes, Flag::CertCache, Flag::Reduce,
+        Flag::Stats}},
+  };
+  return Table;
+}
 
 int usage() {
   // The pass lists are derived from the registry so the usage text can
@@ -97,18 +319,19 @@ int usage() {
       stderr,
       "usage: psopt <command> [args]\n"
       "  explore  <file> [--np] [--no-promises] [--max-nodes=N] [--jobs=N]\n"
-      "           [--cert-cache=on|off] [--reduce=on|off]\n"
-      "  race     <file> [--np] [--rw] [--no-promises] [--jobs=N]\n"
-      "           [--cert-cache=on|off]\n"
+      "           [--cert-cache=on|off] [--reduce=on|off|legacy]\n"
+      "  race     <file> [--np] [--rw] [--no-promises] [--max-nodes=N]\n"
+      "           [--jobs=N] [--cert-cache=on|off]\n"
+      "  lint     <file> [--format=text|json]\n"
       "  optimize <file> --passes=%s\n"
       "           (also linv, and the intentionally unsound %s)\n",
       PassList.c_str(), UnsafeList.c_str());
   std::fprintf(
       stderr,
-      "  refine   <target> <source> [--no-promises] [--jobs=N]\n"
-      "           [--cert-cache=on|off] [--reduce=on|off]\n"
+      "  refine   <target> <source> [--np] [--no-promises] [--jobs=N]\n"
+      "           [--cert-cache=on|off] [--reduce=on|off|legacy]\n"
       "  equiv    <file> [--no-promises] [--jobs=N] [--cert-cache=on|off]\n"
-      "           [--reduce=on|off]\n"
+      "           [--reduce=on|off|legacy]\n"
       "  witness  <file> --trace=v1,v2,... [--end=done|abort|partial]\n"
       "  litmus   [name]\n"
       "  fuzz     [--seed=N] [--runs=N] [--jobs=N] [--passes=p1,p2,...]\n"
@@ -119,6 +342,12 @@ int usage() {
       "(default on; behavior-identical to off, see DESIGN.md section 8).\n"
       "--reduce fuses commuting thread-local schedules in the explorer\n"
       "(default on; behavior-identical to off, see DESIGN.md section 10).\n"
+      "--reduce=legacy keeps reduction on but disables the static-footprint\n"
+      "fusion rules (DESIGN.md section 13), for ablations.\n"
+      "lint reports static race candidates, recognized release/acquire\n"
+      "sync chains, mixed-mode atomics, dominated fences and never-read\n"
+      "atomics; exit 1 when race candidates exist. --format=json is the\n"
+      "machine-readable form.\n"
       "--stats prints the internal statistic counters after any command.\n"
       "fuzz generates seeded random programs, runs a (random) verified-pass\n"
       "pipeline, and checks target-refines-source against the exploration\n"
@@ -130,57 +359,61 @@ int usage() {
   return 2;
 }
 
-bool parseArgs(int argc, char **argv, Options &O) {
+bool parseArgs(int argc, char **argv, const CommandSpec &Spec, Options &O) {
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--np")
-      O.NonPreemptive = true;
-    else if (A == "--no-promises")
-      O.NoPromises = true;
-    else if (A == "--rw")
-      O.RwRace = true;
-    else if (A == "--cert-cache=on")
-      O.CertCacheOn = true;
-    else if (A == "--cert-cache=off")
-      O.CertCacheOn = false;
-    else if (A == "--reduce=on")
-      O.ReduceOn = true;
-    else if (A == "--reduce=off")
-      O.ReduceOn = false;
-    else if (A == "--stats")
-      O.Stats = true;
-    else if (A.rfind("--max-nodes=", 0) == 0) {
-      O.MaxNodes = std::stoull(A.substr(12));
-      O.MaxNodesSet = true;
-    } else if (A == "--promises")
-      O.Promises = true;
-    else if (A == "--no-shrink")
-      O.Shrink = false;
-    else if (A == "--no-differential")
-      O.Differential = false;
-    else if (A.rfind("--seed=", 0) == 0)
-      O.Seed = std::stoull(A.substr(7));
-    else if (A.rfind("--runs=", 0) == 0)
-      O.Runs = static_cast<unsigned>(std::stoul(A.substr(7)));
-    else if (A.rfind("--time-budget=", 0) == 0)
-      O.TimeBudgetSec = static_cast<unsigned>(std::stoul(A.substr(14)));
-    else if (A.rfind("--corpus=", 0) == 0)
-      O.CorpusDir = A.substr(9);
-    else if (A.rfind("--replay=", 0) == 0)
-      O.ReplayDir = A.substr(9);
-    else if (A.rfind("--jobs=", 0) == 0)
-      O.Jobs = static_cast<unsigned>(std::stoul(A.substr(7)));
-    else if (A.rfind("--passes=", 0) == 0)
-      O.Passes = A.substr(9);
-    else if (A.rfind("--trace=", 0) == 0)
-      O.TraceSpec = A.substr(8);
-    else if (A.rfind("--end=", 0) == 0)
-      O.End = A.substr(6);
-    else if (A.rfind("--", 0) == 0) {
+    if (A.rfind("--", 0) != 0) {
+      O.Positional.push_back(A);
+      continue;
+    }
+    const FlagSpec *Match = nullptr;
+    std::string Value;
+    for (const FlagSpec &FS : FlagTable) {
+      std::string Sp = FS.Spelling;
+      if (Sp.back() == '=') {
+        if (A.rfind(Sp, 0) == 0) {
+          Match = &FS;
+          Value = A.substr(Sp.size());
+          break;
+        }
+        // `--flag` spelled without a value still names this flag.
+        if (A == Sp.substr(0, Sp.size() - 1)) {
+          std::fprintf(stderr, "flag %s requires a value\n", A.c_str());
+          return false;
+        }
+      } else if (A == Sp) {
+        Match = &FS;
+        break;
+      }
+    }
+    if (!Match) {
       std::fprintf(stderr, "unknown flag: %s\n", A.c_str());
       return false;
-    } else
-      O.Positional.push_back(A);
+    }
+    bool Accepted = false;
+    for (Flag F : Spec.Flags)
+      Accepted |= F == Match->F;
+    if (!Accepted) {
+      std::fprintf(stderr, "flag %s is not accepted by `psopt %s`\n",
+                   A.c_str(), Spec.Name);
+      return false;
+    }
+    if (!Match->Apply(O, Value)) {
+      std::fprintf(stderr, "invalid value for %s: %s\n", Match->Spelling,
+                   A.c_str());
+      return false;
+    }
+  }
+  if (O.Positional.size() < Spec.MinPositional ||
+      O.Positional.size() > Spec.MaxPositional) {
+    std::string Count = std::to_string(Spec.MinPositional);
+    if (Spec.MaxPositional != Spec.MinPositional)
+      Count += "-" + std::to_string(Spec.MaxPositional);
+    std::fprintf(stderr,
+                 "`psopt %s` takes %s positional argument%s, got %zu\n",
+                 Spec.Name, Count.c_str(),
+                 Spec.MaxPositional == 1 ? "" : "s", O.Positional.size());
+    return false;
   }
   return true;
 }
@@ -218,6 +451,7 @@ ExploreConfig exploreConfig(const Options &O) {
   EC.MaxNodes = O.MaxNodes;
   EC.Jobs = O.Jobs;
   EC.Reduce = O.ReduceOn;
+  EC.AnalysisFusion = O.AnalysisFusion;
   return EC;
 }
 
@@ -260,6 +494,16 @@ int cmdRace(const Options &O) {
   if (R.Witness)
     std::printf("witness: %s\n", R.Witness->Description.c_str());
   return R.RaceFree ? 0 : 1;
+}
+
+int cmdLint(const Options &O) {
+  Program P;
+  if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
+    return 2;
+  LintReport R(P);
+  std::printf("%s", (O.Format == "json" ? R.renderJson() : R.renderText())
+                        .c_str());
+  return R.hasRaceCandidates() ? 1 : 0;
 }
 
 int cmdOptimize(const Options &O) {
@@ -455,29 +699,17 @@ int cmdFuzz(const Options &O) {
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
-  Options O;
-  if (!parseArgs(argc, argv, O))
-    return usage();
   std::string Cmd = argv[1];
-  int Ret;
-  if (Cmd == "explore")
-    Ret = cmdExplore(O);
-  else if (Cmd == "race")
-    Ret = cmdRace(O);
-  else if (Cmd == "optimize")
-    Ret = cmdOptimize(O);
-  else if (Cmd == "refine")
-    Ret = cmdRefine(O);
-  else if (Cmd == "equiv")
-    Ret = cmdEquiv(O);
-  else if (Cmd == "witness")
-    Ret = cmdWitness(O);
-  else if (Cmd == "litmus")
-    Ret = cmdLitmus(O);
-  else if (Cmd == "fuzz")
-    Ret = cmdFuzz(O);
-  else
+  const CommandSpec *Spec = nullptr;
+  for (const CommandSpec &S : commandTable())
+    if (Cmd == S.Name)
+      Spec = &S;
+  if (!Spec)
     return usage();
+  Options O;
+  if (!parseArgs(argc, argv, *Spec, O))
+    return usage();
+  int Ret = Spec->Handler(O);
   if (O.Stats)
     std::printf("%s", formatStatistics().c_str());
   return Ret;
