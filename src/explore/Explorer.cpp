@@ -11,6 +11,8 @@
 #include "explore/Reduction.h"
 #include "nps/NPMachine.h"
 #include "support/Statistic.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <deque>
 #include <optional>
@@ -21,6 +23,8 @@ namespace psopt {
 static Statistic NumExploreNodes("explore", "nodes", "nodes expanded");
 static Statistic NumExploreTransitions("explore", "transitions",
                                        "machine transitions explored");
+static PhaseTimer ExploreSearchTime("explore", "search",
+                                    "wall-clock time inside explore()");
 
 namespace detail {
 Statistic &numExploreNodes() { return NumExploreNodes; }
@@ -47,8 +51,19 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
   std::deque<Node> Work;
   Work.push_back(std::move(Start));
 
+  // The sequential engine is "one worker": its loop gets the same span
+  // shape the pool workers emit, so traces read uniformly at any -j.
+  TraceSpan WorkerSpan("explore", "worker");
+  std::uint64_t Popped = 0;
+
   std::vector<MachineSuccessor> Succs;
   while (!Work.empty()) {
+    // Publish live frontier/visited levels for the --progress heartbeat
+    // at a coarse cadence (two relaxed stores every 1024 nodes).
+    if ((++Popped & 1023) == 0) {
+      searchFrontierGauge().set(Work.size());
+      searchVisitedGauge().set(Visited.size());
+    }
     Node N = std::move(Work.front());
     Work.pop_front();
     // One hash lookup: insert claims the node; a duplicate is skipped
@@ -76,6 +91,12 @@ static BehaviorSet exploreSequential(const Machine &M, const ExploreConfig &C) {
       B.Exhausted = false;
   }
 
+  searchFrontierGauge().set(0);
+  searchVisitedGauge().set(Visited.size());
+  WorkerSpan.arg("worker", 0u)
+      .arg("popped", Popped)
+      .arg("expanded", static_cast<std::uint64_t>(Visited.size()));
+
   B.NodesVisited = Visited.size();
   // UniqueStates folds out of the visited table after the search (state
   // hashes are memoized, so this pass is cheap) instead of costing a
@@ -96,9 +117,18 @@ BehaviorSet explore(const Machine &M, const ExploreConfig &C) {
     B.Prefixes.insert(Trace{});
     return B;
   }
-  if (C.Jobs > 1)
-    return ParallelExplorer(M, C).run();
-  return exploreSequential(M, C);
+  PhaseTimerScope Time(ExploreSearchTime);
+  TraceSpan Span("explore", "search");
+  Span.arg("jobs", C.Jobs)
+      .arg("reduce", C.Reduce)
+      .arg("analysis_fusion", C.AnalysisFusion);
+  BehaviorSet B = C.Jobs > 1 ? ParallelExplorer(M, C).run()
+                             : exploreSequential(M, C);
+  Span.arg("nodes", B.NodesVisited)
+      .arg("unique_states", B.UniqueStates)
+      .arg("transitions", B.Transitions)
+      .arg("exhausted", B.Exhausted);
+  return B;
 }
 
 BehaviorSet exploreInterleaving(const Program &P, const StepConfig &SC,

@@ -1,0 +1,29 @@
+//===- explore/ParallelBfs.cpp - Work-stealing parallel BFS --------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine itself is a header template (ParallelBfs.h); this file owns
+// the process-wide steal/idle statistics its instantiations share, so the
+// counters register exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ParallelBfs.h"
+#include "support/Statistic.h"
+
+namespace psopt {
+
+static Statistic NumBfsSteals("parallel", "steals",
+                              "work items stolen from a peer's deque");
+static Statistic NumBfsIdleWaits(
+    "parallel", "idle_waits",
+    "worker backoff sleeps while the frontier was starved");
+
+namespace detail {
+Statistic &numBfsSteals() { return NumBfsSteals; }
+Statistic &numBfsIdleWaits() { return NumBfsIdleWaits; }
+} // namespace detail
+
+} // namespace psopt

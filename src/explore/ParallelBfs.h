@@ -27,6 +27,9 @@
 #ifndef PSOPT_EXPLORE_PARALLELBFS_H
 #define PSOPT_EXPLORE_PARALLELBFS_H
 
+#include "support/Statistic.h"
+#include "support/Trace.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -38,6 +41,13 @@
 #include <vector>
 
 namespace psopt {
+
+namespace detail {
+/// The parallel.steals / parallel.idle_waits counters shared by every
+/// ParallelBfs instantiation (defined in ParallelBfs.cpp).
+Statistic &numBfsSteals();
+Statistic &numBfsIdleWaits();
+} // namespace detail
 
 /// Number of visited-table shards for a given worker count: enough stripes
 /// that workers rarely collide, bounded so empty shards stay cheap.
@@ -102,6 +112,8 @@ public:
     workerLoop(0, Visit);
     for (std::thread &T : Workers)
       T.join();
+    searchFrontierGauge().set(0);
+    searchVisitedGauge().set(Claimed.load(std::memory_order_relaxed));
     Stats S;
     S.Expanded = Claimed.load(std::memory_order_relaxed);
     S.NodeBoundHit = NodeBound.load(std::memory_order_relaxed);
@@ -126,8 +138,10 @@ private:
     Queues[W].D.push_back(std::move(N));
   }
 
-  /// Pops from the owner's tail, else steals from a victim's head.
-  std::optional<NodeT> popWork(unsigned W) {
+  /// Pops from the owner's tail, else steals from a victim's head
+  /// (setting \p Stolen so the worker's telemetry can count steals).
+  std::optional<NodeT> popWork(unsigned W, bool &Stolen) {
+    Stolen = false;
     {
       WorkQueue &Q = Queues[W];
       std::lock_guard<std::mutex> Lock(Q.M);
@@ -143,6 +157,7 @@ private:
       if (!Q.D.empty()) {
         NodeT N = std::move(Q.D.front());
         Q.D.pop_front();
+        Stolen = true;
         return N;
       }
     }
@@ -160,24 +175,50 @@ private:
   }
 
   template <typename VisitT> void workerLoop(unsigned W, VisitT &Visit) {
+    // Per-worker telemetry: one span covering the whole loop, with the
+    // worker's expansion/steal/idle tallies as args — the raw material
+    // for the "why doesn't this scale" question (DESIGN.md §14). Spawned
+    // workers name their trace track; worker 0 is the calling thread and
+    // keeps its name.
+    if (W > 0 && traceEnabled())
+      traceSetThreadName("worker-" + std::to_string(W));
+    TraceSpan Span("explore", "worker");
+    std::uint64_t Popped = 0, Steals = 0, IdleWaits = 0;
+
     auto Push = [this, W](NodeT &&N) { pushWork(W, std::move(N)); };
     unsigned IdleSpins = 0;
     for (;;) {
-      std::optional<NodeT> N = popWork(W);
+      bool Stolen = false;
+      std::optional<NodeT> N = popWork(W, Stolen);
       if (!N) {
         if (Pending.load(std::memory_order_acquire) == 0)
-          return;
+          break;
         // Work exists (or is in flight) but not reachable yet: back off.
-        if (++IdleSpins < 64)
+        if (++IdleSpins < 64) {
           std::this_thread::yield();
-        else
+        } else {
+          ++IdleWaits;
           std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
         continue;
       }
       IdleSpins = 0;
+      Steals += Stolen;
+      // Publish live frontier/visited levels for the --progress heartbeat
+      // at a coarse cadence (one relaxed store each).
+      if ((++Popped & 255) == 0) {
+        searchFrontierGauge().set(Pending.load(std::memory_order_relaxed));
+        searchVisitedGauge().set(Claimed.load(std::memory_order_relaxed));
+      }
       expand(W, std::move(*N), Visit, Push);
       Pending.fetch_sub(1, std::memory_order_release);
     }
+    detail::numBfsSteals() += Steals;
+    detail::numBfsIdleWaits() += IdleWaits;
+    Span.arg("worker", W)
+        .arg("popped", Popped)
+        .arg("steals", Steals)
+        .arg("idle_waits", IdleWaits);
   }
 
   template <typename VisitT, typename PushT>

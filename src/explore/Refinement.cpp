@@ -6,6 +6,8 @@
 
 #include "explore/Refinement.h"
 
+#include "support/Trace.h"
+
 namespace psopt {
 
 static std::string traceStr(const Trace &T, const char *Suffix) {
@@ -61,17 +63,43 @@ RefinementResult checkEquivalence(const BehaviorSet &A, const BehaviorSet &B) {
 RefinementResult checkRefinement(const Program &Target, const Program &Source,
                                  const StepConfig &SC,
                                  const ExploreConfig &C) {
-  BehaviorSet TB = exploreInterleaving(Target, SC, C);
-  BehaviorSet SB = exploreInterleaving(Source, SC, C);
-  return checkRefinement(TB, SB);
+  // The two sub-explorations nest under the check's own span, so a trace
+  // of a long refinement run shows where the time went per side.
+  TraceSpan Span("refine", "check");
+  BehaviorSet TB, SB;
+  {
+    TraceSpan T("refine", "target");
+    TB = exploreInterleaving(Target, SC, C);
+    T.arg("nodes", TB.NodesVisited).arg("exhausted", TB.Exhausted);
+  }
+  {
+    TraceSpan S("refine", "source");
+    SB = exploreInterleaving(Source, SC, C);
+    S.arg("nodes", SB.NodesVisited).arg("exhausted", SB.Exhausted);
+  }
+  RefinementResult R = checkRefinement(TB, SB);
+  Span.arg("holds", R.Holds).arg("exact", R.Exact);
+  return R;
 }
 
 RefinementResult checkMachineEquivalence(const Program &P,
                                          const StepConfig &SC,
                                          const ExploreConfig &C) {
-  BehaviorSet Inter = exploreInterleaving(P, SC, C);
-  BehaviorSet NP = exploreNonPreemptive(P, SC, C);
-  return checkEquivalence(NP, Inter);
+  TraceSpan Span("refine", "equiv");
+  BehaviorSet Inter, NP;
+  {
+    TraceSpan T("refine", "interleaving");
+    Inter = exploreInterleaving(P, SC, C);
+    T.arg("nodes", Inter.NodesVisited);
+  }
+  {
+    TraceSpan T("refine", "non-preemptive");
+    NP = exploreNonPreemptive(P, SC, C);
+    T.arg("nodes", NP.NodesVisited);
+  }
+  RefinementResult R = checkEquivalence(NP, Inter);
+  Span.arg("holds", R.Holds).arg("exact", R.Exact);
+  return R;
 }
 
 } // namespace psopt

@@ -13,10 +13,14 @@
 #include "lang/Validate.h"
 #include "litmus/RandomProgram.h"
 #include "opt/Pass.h"
+#include "support/Statistic.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <optional>
 #include <random>
 
 namespace psopt {
@@ -114,7 +118,7 @@ bool applyPipeline(const std::vector<std::string> &Pipeline, const Program &P,
     std::unique_ptr<Pass> Pass_ = createPassByName(Name);
     if (!Pass_)
       return false;
-    Out = Pass_->run(Out);
+    Out = runPassInstrumented(*Pass_, Out);
   }
   return true;
 }
@@ -228,6 +232,9 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
   Report.BaseSeed = C.Seed;
   Oracle O(C);
 
+  TraceSpan CampaignSpan("fuzz", "campaign");
+  CampaignSpan.arg("base_seed", C.Seed).arg("jobs", C.Jobs);
+
   for (unsigned Run = 0; Run < C.Runs; ++Run) {
     if (C.TimeBudgetSec && Elapsed() > C.TimeBudgetSec)
       break;
@@ -239,6 +246,20 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
     std::vector<std::string> Pipeline =
         C.Pipeline.empty() ? randomPipeline(Rng) : C.Pipeline;
 
+    // Per-run telemetry: wall-clock plus a statistics snapshot, so the
+    // run record reports run-local deltas (nodes explored, cache hits),
+    // not campaign-cumulative totals.
+    Timer RunTimer;
+    std::optional<StatisticSnapshot> RunStats;
+    if (traceEnabled())
+      RunStats.emplace();
+    const std::size_t FailuresBefore = Report.Failures.size();
+    const unsigned SkippedBefore = Report.Skipped;
+
+    // The run body is an immediately-invoked closure so every early-out
+    // path (round-trip failure, skip, divergence) still falls through to
+    // the one per-run telemetry record below.
+    [&] {
     auto Report_ = [&](FuzzFailure::Kind K, std::string Detail,
                        const ShrinkOracle &StillFails) {
       FuzzFailure F;
@@ -269,7 +290,7 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
         Report.Failures.push_back(Report_(FuzzFailure::Kind::RoundTrip,
                                           "print->parse mismatch",
                                           RoundTripBroken));
-        continue;
+        return;
       }
     }
 
@@ -279,7 +300,7 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
       FuzzFailure F = Report_(FuzzFailure::Kind::InvalidTarget,
                               "unknown pass in pipeline", nullptr);
       Report.Failures.push_back(std::move(F));
-      continue;
+      return;
     }
     if (!isValidProgram(Tgt)) {
       auto TargetInvalid = [&Pipeline](const Program &P) {
@@ -289,7 +310,7 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
       Report.Failures.push_back(Report_(FuzzFailure::Kind::InvalidTarget,
                                         "pipeline output fails validation",
                                         TargetInvalid));
-      continue;
+      return;
     }
 
     // 3. The refinement oracle under the reference engine.
@@ -297,7 +318,7 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
     BehaviorSet TgtB = O.explore(Tgt);
     if (!SrcB.Exhausted || !TgtB.Exhausted) {
       ++Report.Skipped;
-      continue;
+      return;
     }
     RefinementResult R = checkRefinement(TgtB, SrcB);
     if (!R.Holds) {
@@ -333,7 +354,7 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
           F.ReproPath = Path;
       }
       Report.Failures.push_back(std::move(F));
-      continue;
+      return;
     }
 
     // 4. Differential engine cross-validation. The parallel explorer with
@@ -409,8 +430,30 @@ FuzzReport runFuzzer(const FuzzConfig &C) {
         break;
       }
     }
+    }();
+
+    if (RunStats) {
+      const char *Verdict =
+          Report.Failures.size() > FailuresBefore
+              ? FuzzFailure::kindName(Report.Failures.back().K)
+              : (Report.Skipped > SkippedBefore ? "skipped" : "ok");
+      TraceArgs A;
+      A.add("run", Run)
+          .add("seed", Seed)
+          .add("pipeline", pipelineStr(Pipeline))
+          .add("verdict", Verdict)
+          .add("nodes", RunStats->delta("explore", "nodes"))
+          .add("transitions", RunStats->delta("explore", "transitions"))
+          .add("cert_hits", RunStats->delta("certcache", "hits"))
+          .add("cert_misses", RunStats->delta("certcache", "misses"))
+          .add("duration_ms", RunTimer.elapsedNanos() * 1e-6);
+      traceInstant("fuzz", "run", std::move(A));
+    }
   }
 
+  CampaignSpan.arg("runs", Report.Runs)
+      .arg("failures", static_cast<std::uint64_t>(Report.Failures.size()))
+      .arg("skipped", Report.Skipped);
   Report.ElapsedSec = Elapsed();
   return Report;
 }

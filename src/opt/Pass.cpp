@@ -6,7 +6,40 @@
 
 #include "opt/Pass.h"
 
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <map>
+#include <mutex>
+
 namespace psopt {
+
+namespace {
+
+/// Lazily-created per-pass-name phase timers ("opt.dce", "opt.licm", ...).
+/// Pass names arrive at runtime (registry names, composed pipeline names),
+/// so the timers cannot be namespace-scope statics; the node-based map
+/// keeps the name storage stable for the PhaseTimer's lifetime.
+PhaseTimer &passTimer(const char *Name) {
+  static std::mutex M;
+  static std::map<std::string, std::unique_ptr<PhaseTimer>> Timers;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Timers.find(Name);
+  if (It == Timers.end()) {
+    It = Timers.emplace(Name, nullptr).first;
+    It->second = std::make_unique<PhaseTimer>(
+        "opt", It->first.c_str(), "wall-clock time inside this pass");
+  }
+  return *It->second;
+}
+
+} // namespace
+
+Program runPassInstrumented(const Pass &P, const Program &In) {
+  PhaseTimerScope Time(passTimer(P.name()));
+  TraceSpan Span("opt", P.name());
+  return P.run(In);
+}
 
 std::unique_ptr<Pass> createLICM() {
   std::vector<std::unique_ptr<Pass>> Ps;

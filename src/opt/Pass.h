@@ -39,6 +39,13 @@ public:
   virtual Program run(const Program &P) const = 0;
 };
 
+/// Runs \p P on \p In with telemetry: the run is wrapped in a trace span
+/// (cat "opt", name = pass name, instruction counts as args) and added to
+/// a per-pass-name phase timer keyed "opt.<name>", so --stats and traces
+/// report per-pass pipeline timing. All pipeline drivers — the CLI's
+/// optimize command, PassPipeline, the fuzzer — run passes through this.
+Program runPassInstrumented(const Pass &P, const Program &In);
+
 /// Creates the constant propagation pass (ConstProp, §7.2).
 std::unique_ptr<Pass> createConstProp();
 
@@ -102,7 +109,7 @@ public:
   Program run(const Program &P) const override {
     Program Cur = P;
     for (const auto &Pass_ : Passes)
-      Cur = Pass_->run(Cur);
+      Cur = runPassInstrumented(*Pass_, Cur);
     return Cur;
   }
 

@@ -6,6 +6,9 @@
 
 #include "support/Statistic.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace psopt {
 
 static std::vector<Statistic *> &registry() {
@@ -19,6 +22,14 @@ Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
 }
 
 const std::vector<Statistic *> &allStatistics() { return registry(); }
+
+const Statistic *findStatistic(const char *Group, const char *Name) {
+  for (const Statistic *S : registry())
+    if (std::strcmp(S->group(), Group) == 0 &&
+        std::strcmp(S->name(), Name) == 0)
+      return S;
+  return nullptr;
+}
 
 void resetStatistics() {
   for (Statistic *S : registry())
@@ -38,6 +49,44 @@ std::string formatStatistics() {
     Out += '\n';
   }
   return Out;
+}
+
+std::string formatStatisticsJson() {
+  std::vector<std::pair<std::string, std::uint64_t>> Entries;
+  Entries.reserve(registry().size());
+  for (const Statistic *S : registry())
+    Entries.emplace_back(std::string(S->group()) + "." + S->name(),
+                         S->value());
+  std::sort(Entries.begin(), Entries.end());
+  std::string Out = "{";
+  for (std::size_t I = 0; I < Entries.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"" + Entries[I].first +
+           "\": " + std::to_string(Entries[I].second);
+  }
+  Out += "}";
+  return Out;
+}
+
+StatisticSnapshot::StatisticSnapshot() {
+  Values.reserve(registry().size());
+  for (const Statistic *S : registry())
+    Values.emplace_back(S, S->value());
+}
+
+std::uint64_t StatisticSnapshot::delta(const Statistic *S) const {
+  if (!S)
+    return 0;
+  for (const auto &[Stat, Then] : Values)
+    if (Stat == S)
+      return S->value() >= Then ? S->value() - Then : 0;
+  return S->value(); // registered after the capture: all of it is new
+}
+
+std::uint64_t StatisticSnapshot::delta(const char *Group,
+                                       const char *Name) const {
+  return delta(findStatistic(Group, Name));
 }
 
 } // namespace psopt

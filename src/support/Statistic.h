@@ -54,11 +54,37 @@ private:
 /// Returns all registered statistics (stable registration order).
 const std::vector<Statistic *> &allStatistics();
 
+/// Looks a statistic up by group and name; null when unregistered. The
+/// telemetry layer uses this to sample counters it does not own.
+const Statistic *findStatistic(const char *Group, const char *Name);
+
 /// Resets every registered statistic to zero.
 void resetStatistics();
 
 /// Renders the registry as "group.name = value" lines; benches print this.
 std::string formatStatistics();
+
+/// Renders the registry as a JSON object `{"group.name": value, ...}`
+/// with keys sorted, zero counters included — a stable, diffable shape
+/// (--stats-format=json wraps this under "counters").
+std::string formatStatisticsJson();
+
+/// A point-in-time capture of every registered counter, for run-local
+/// deltas: the fuzzer snapshots before each run so per-run telemetry
+/// records report that run's counts, not campaign-cumulative ones.
+class StatisticSnapshot {
+public:
+  /// Captures the current value of every registered statistic.
+  StatisticSnapshot();
+
+  /// Current value minus the captured value (0 for unknown statistics,
+  /// saturating at 0 if the counter was reset in between).
+  std::uint64_t delta(const Statistic *S) const;
+  std::uint64_t delta(const char *Group, const char *Name) const;
+
+private:
+  std::vector<std::pair<const Statistic *, std::uint64_t>> Values;
+};
 
 } // namespace psopt
 

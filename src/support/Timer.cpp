@@ -1,0 +1,77 @@
+//===- support/Timer.cpp - Wall-clock timers and phase timers ------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psopt {
+
+static std::vector<PhaseTimer *> &registry() {
+  static std::vector<PhaseTimer *> R;
+  return R;
+}
+
+PhaseTimer::PhaseTimer(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  registry().push_back(this);
+}
+
+const std::vector<PhaseTimer *> &allPhaseTimers() { return registry(); }
+
+void resetPhaseTimers() {
+  for (PhaseTimer *T : registry())
+    T->reset();
+}
+
+std::string formatPhaseTimers() {
+  std::string Out;
+  for (const PhaseTimer *T : registry()) {
+    if (T->count() == 0)
+      continue;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6fs", T->seconds());
+    Out += T->group();
+    Out += '.';
+    Out += T->name();
+    Out += " = ";
+    Out += Buf;
+    Out += " (" + std::to_string(T->count()) + " scopes)\n";
+  }
+  return Out;
+}
+
+std::string formatPhaseTimersJson() {
+  std::vector<const PhaseTimer *> Sorted(registry().begin(), registry().end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const PhaseTimer *A, const PhaseTimer *B) {
+              int G = std::string(A->group()).compare(B->group());
+              if (G != 0)
+                return G < 0;
+              return std::string(A->name()) < B->name();
+            });
+  std::string Out = "{";
+  bool First = true;
+  for (const PhaseTimer *T : Sorted) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "{\"seconds\": %.6f, \"scopes\": %llu}",
+                  T->seconds(), static_cast<unsigned long long>(T->count()));
+    Out += '"';
+    Out += T->group();
+    Out += '.';
+    Out += T->name();
+    Out += "\": ";
+    Out += Buf;
+  }
+  Out += "}";
+  return Out;
+}
+
+} // namespace psopt

@@ -1,0 +1,124 @@
+//===- support/Timer.h - Wall-clock timers and phase timers -----*- C++ -*-===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two small timing primitives for the telemetry layer (DESIGN.md §14):
+///
+///  * Timer — a steady_clock stopwatch. Cheap enough to sit on any code
+///    path that already does real work; never consults the wall clock
+///    except when asked.
+///
+///  * PhaseTimer — a named accumulating timer registered with a global
+///    registry, in the style of support/Statistic.h. Modules declare one
+///    per phase ("opt.pass_dce", "explore.search", ...) at namespace
+///    scope; a PhaseTimerScope adds the elapsed time of a lexical scope.
+///    Accumulation is a relaxed atomic add, so concurrent scopes (e.g.
+///    per-worker) are exact without ordering guarantees. The registry is
+///    rendered by --stats next to the counters, and --stats-format=json
+///    emits it machine-readably.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSOPT_SUPPORT_TIMER_H
+#define PSOPT_SUPPORT_TIMER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psopt {
+
+/// A monotonic stopwatch, started on construction.
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+
+  void restart() { Start = std::chrono::steady_clock::now(); }
+
+  std::uint64_t elapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+  std::uint64_t elapsedMicros() const { return elapsedNanos() / 1000; }
+  double elapsedSec() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// A named accumulating timer registered with the global phase-timer
+/// registry. Thread-safe: adds are relaxed atomics.
+class PhaseTimer {
+public:
+  PhaseTimer(const char *Group, const char *Name, const char *Desc);
+
+  void addNanos(std::uint64_t N) {
+    Nanos.fetch_add(N, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t nanos() const {
+    return Nanos.load(std::memory_order_relaxed);
+  }
+  /// Number of completed scopes folded into nanos().
+  std::uint64_t count() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+  void reset() {
+    Nanos.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+  }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *description() const { return Desc; }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<std::uint64_t> Nanos{0};
+  std::atomic<std::uint64_t> Count{0};
+};
+
+/// RAII: adds the scope's wall-clock time to \p T on destruction.
+class PhaseTimerScope {
+public:
+  explicit PhaseTimerScope(PhaseTimer &T) : T(&T) {}
+  PhaseTimerScope(const PhaseTimerScope &) = delete;
+  PhaseTimerScope &operator=(const PhaseTimerScope &) = delete;
+  ~PhaseTimerScope() { T->addNanos(W.elapsedNanos()); }
+
+private:
+  PhaseTimer *T;
+  Timer W;
+};
+
+/// Returns all registered phase timers (stable registration order).
+const std::vector<PhaseTimer *> &allPhaseTimers();
+
+/// Resets every registered phase timer to zero.
+void resetPhaseTimers();
+
+/// Renders the registry as "group.name = 1.234s (n scopes)" lines,
+/// skipping never-fired timers; --stats appends this to the counters.
+std::string formatPhaseTimers();
+
+/// Renders the registry as a JSON object keyed "group.name", each value
+/// {"seconds": <double>, "scopes": <count>}, keys sorted. Every
+/// registered timer is included (never-fired ones report zeros), so the
+/// shape is stable for a fixed workload.
+std::string formatPhaseTimersJson();
+
+} // namespace psopt
+
+#endif // PSOPT_SUPPORT_TIMER_H

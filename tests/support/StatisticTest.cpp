@@ -41,5 +41,43 @@ TEST(StatisticTest, ResetAll) {
   EXPECT_EQ(R.value(), 0u);
 }
 
+TEST(StatisticTest, FindByGroupAndName) {
+  static Statistic F("test", "findable", "lookup target");
+  EXPECT_EQ(findStatistic("test", "findable"), &F);
+  EXPECT_EQ(findStatistic("test", "no_such_counter"), nullptr);
+}
+
+TEST(StatisticTest, JsonIncludesZerosAndSortsKeys) {
+  static Statistic A("jtest", "aaa_zero", "stays zero");
+  static Statistic B("jtest", "zzz_nonzero", "incremented");
+  A.reset();
+  B.reset();
+  B += 3;
+  std::string J = formatStatisticsJson();
+  ASSERT_FALSE(J.empty());
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+  // Unlike the text form, zero counters are part of the JSON shape.
+  std::size_t PA = J.find("\"jtest.aaa_zero\": 0");
+  std::size_t PB = J.find("\"jtest.zzz_nonzero\": 3");
+  ASSERT_NE(PA, std::string::npos) << J;
+  ASSERT_NE(PB, std::string::npos) << J;
+  EXPECT_LT(PA, PB);
+}
+
+TEST(StatisticTest, SnapshotReportsRunLocalDeltas) {
+  static Statistic S("test", "snap_target", "snapshot target");
+  S.reset();
+  S += 5;
+  StatisticSnapshot Snap;
+  S += 7;
+  EXPECT_EQ(Snap.delta(&S), 7u);
+  EXPECT_EQ(Snap.delta("test", "snap_target"), 7u);
+  EXPECT_EQ(Snap.delta("test", "no_such_counter"), 0u);
+  // A reset between capture and query saturates at zero, never wraps.
+  S.reset();
+  EXPECT_EQ(Snap.delta(&S), 0u);
+}
+
 } // namespace
 } // namespace psopt

@@ -1,0 +1,82 @@
+//===- tests/support/TimerTest.cpp - Timer and phase-timer tests -------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace psopt {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedMonotonically) {
+  Timer T;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::uint64_t First = T.elapsedNanos();
+  EXPECT_GE(First, 1'000'000u); // at least ~1ms registered
+  EXPECT_GE(T.elapsedNanos(), First);
+  T.restart();
+  EXPECT_LT(T.elapsedNanos(), First);
+}
+
+TEST(TimerTest, PhaseTimerAccumulatesScopes) {
+  static PhaseTimer T("test", "phase_acc", "accumulation target");
+  T.reset();
+  { PhaseTimerScope S(T); }
+  { PhaseTimerScope S(T); }
+  EXPECT_EQ(T.count(), 2u);
+
+  bool Found = false;
+  for (PhaseTimer *PT : allPhaseTimers())
+    Found |= PT == &T;
+  EXPECT_TRUE(Found);
+
+  std::string Txt = formatPhaseTimers();
+  EXPECT_NE(Txt.find("test.phase_acc = "), std::string::npos) << Txt;
+  EXPECT_NE(Txt.find("(2 scopes)"), std::string::npos) << Txt;
+}
+
+TEST(TimerTest, TextSkipsNeverFiredButJsonIncludesThem) {
+  static PhaseTimer Z("test", "phase_zero", "never fired");
+  Z.reset();
+  EXPECT_EQ(formatPhaseTimers().find("phase_zero"), std::string::npos);
+
+  std::string J = formatPhaseTimersJson();
+  ASSERT_FALSE(J.empty());
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+  EXPECT_NE(J.find("\"test.phase_zero\": {\"seconds\": 0.000000, "
+                   "\"scopes\": 0}"),
+            std::string::npos)
+      << J;
+}
+
+TEST(TimerTest, JsonKeysAreSorted) {
+  static PhaseTimer A("aatest", "first", "sorts first");
+  static PhaseTimer B("zztest", "last", "sorts last");
+  (void)A;
+  (void)B;
+  std::string J = formatPhaseTimersJson();
+  std::size_t PA = J.find("\"aatest.first\"");
+  std::size_t PB = J.find("\"zztest.last\"");
+  ASSERT_NE(PA, std::string::npos);
+  ASSERT_NE(PB, std::string::npos);
+  EXPECT_LT(PA, PB);
+}
+
+TEST(TimerTest, ResetPhaseTimersZeroesEverything) {
+  static PhaseTimer T("test", "phase_reset", "reset target");
+  { PhaseTimerScope S(T); }
+  ASSERT_GE(T.count(), 1u);
+  resetPhaseTimers();
+  EXPECT_EQ(T.count(), 0u);
+  EXPECT_EQ(T.nanos(), 0u);
+}
+
+} // namespace
+} // namespace psopt

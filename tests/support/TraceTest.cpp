@@ -1,0 +1,225 @@
+//===- tests/support/TraceTest.cpp - Tracing layer tests ---------------------===//
+//
+// Part of psopt.
+//
+//===----------------------------------------------------------------------===//
+//
+// The tracing layer of DESIGN.md §14: exporter schema goldens for the
+// Chrome trace-event and JSONL renderings, the disabled-is-silent
+// contract, and a concurrent-emission stress test (this binary is run
+// under ThreadSanitizer in CI — see .github/workflows/ci.yml).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace psopt {
+namespace {
+
+/// Every test owns the collector for its duration: clean slate on entry,
+/// disabled and drained on exit, so tests compose in any order.
+struct TraceTestGuard {
+  TraceTestGuard() {
+    traceClear();
+    traceStart();
+  }
+  ~TraceTestGuard() {
+    traceStop();
+    traceClear();
+  }
+};
+
+std::size_t countLines(const std::string &S) {
+  std::size_t N = 0;
+  for (char C : S)
+    N += C == '\n';
+  return N;
+}
+
+TEST(TraceTest, DisabledEmitsNothing) {
+  traceStop();
+  traceClear();
+  {
+    TraceSpan S("test", "noop");
+    S.arg("k", 1);
+  }
+  traceInstant("test", "noop");
+  traceCounter("test", "noop", 7);
+  EXPECT_EQ(traceStats().Events, 0u);
+}
+
+TEST(TraceTest, ChromeExportSchema) {
+  TraceTestGuard G;
+  {
+    TraceSpan S("cat", "work");
+    S.arg("n", 3).arg("label", std::string("x\"y"));
+  }
+  traceInstant("cat", "mark", TraceArgs().add("ok", true));
+  traceCounter("cat", "level", 42);
+  traceStop();
+
+  std::ostringstream OS;
+  traceRenderChrome(OS);
+  std::string Out = OS.str();
+
+  // Envelope: one JSON object with a traceEvents array.
+  EXPECT_EQ(Out.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u)
+      << Out;
+  EXPECT_EQ(Out.substr(Out.size() - 4), "\n]}\n") << Out;
+
+  // The span is a complete event with a duration.
+  EXPECT_NE(Out.find("\"ph\":\"X\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"dur\":"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"name\":\"work\""), std::string::npos) << Out;
+  // Args render as a JSON object; embedded quotes are escaped.
+  EXPECT_NE(Out.find("\"n\":3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"label\":\"x\\\"y\""), std::string::npos) << Out;
+  // Instant and counter phases.
+  EXPECT_NE(Out.find("\"ph\":\"i\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"ph\":\"C\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"args\":{\"value\":42}"), std::string::npos) << Out;
+  // Every event carries the shared pid and a cat.
+  EXPECT_NE(Out.find("\"pid\":1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"cat\":\"cat\""), std::string::npos) << Out;
+}
+
+TEST(TraceTest, JsonlExportSchema) {
+  TraceTestGuard G;
+  {
+    TraceSpan S("jcat", "unit");
+    S.arg("i", 7);
+  }
+  traceInstant("jcat", "tick");
+  traceCounter("jcat", "depth", -3);
+  traceStop();
+
+  std::ostringstream OS;
+  traceRenderJsonl(OS);
+  std::string Out = OS.str();
+
+  // One event object per line, every line self-delimited.
+  EXPECT_EQ(countLines(Out), traceStats().Events);
+  std::istringstream In(Out);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    EXPECT_EQ(Line.rfind("{\"ts_us\":", 0), 0u) << Line;
+    EXPECT_EQ(Line.back(), '}') << Line;
+    EXPECT_NE(Line.find("\"kind\":"), std::string::npos) << Line;
+    EXPECT_NE(Line.find("\"tid\":"), std::string::npos) << Line;
+  }
+  EXPECT_NE(Out.find("\"kind\":\"span\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"dur_us\":"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"kind\":\"instant\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"kind\":\"counter\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"value\":-3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"args\":{\"i\":7}"), std::string::npos) << Out;
+}
+
+TEST(TraceTest, ExportsAreTimeSorted) {
+  TraceTestGuard G;
+  for (int I = 0; I < 50; ++I)
+    traceCounter("order", "seq", I);
+  traceStop();
+
+  std::ostringstream OS;
+  traceRenderJsonl(OS);
+  std::istringstream In(OS.str());
+  std::string Line;
+  long PrevTs = -1;
+  while (std::getline(In, Line)) {
+    long Ts = std::stol(Line.substr(std::string("{\"ts_us\":").size()));
+    EXPECT_GE(Ts, PrevTs);
+    PrevTs = Ts;
+  }
+}
+
+TEST(TraceTest, ThreadNamesBecomeMetadataEvents) {
+  TraceTestGuard G;
+  std::thread T([] {
+    traceSetThreadName("stress-worker");
+    traceInstant("named", "hello");
+  });
+  T.join();
+  traceStop();
+
+  std::ostringstream OS;
+  traceRenderChrome(OS);
+  EXPECT_NE(OS.str().find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(OS.str().find("{\"name\":\"stress-worker\"}"), std::string::npos)
+      << OS.str();
+}
+
+// The TSan target: concurrent emitters on their own buffers, with a
+// renderer snapshotting mid-flight. Run under ThreadSanitizer in CI.
+TEST(TraceTest, ConcurrentEmissionStress) {
+  TraceTestGuard G;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 400;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      traceSetThreadName("emitter-" + std::to_string(T));
+      for (int I = 0; I < PerThread; ++I) {
+        {
+          TraceSpan S("stress", "unit");
+          S.arg("i", I);
+        }
+        traceInstant("stress", "tick");
+        traceCounter("stress", "level", I);
+      }
+    });
+
+  // Render while emission is in flight: the snapshot locks buffers one
+  // at a time and must not race the appends.
+  std::ostringstream Mid;
+  traceRenderJsonl(Mid);
+
+  for (std::thread &T : Threads)
+    T.join();
+
+  TraceStats S = traceStats();
+  EXPECT_EQ(S.Dropped, 0u);
+  EXPECT_GE(S.Threads, static_cast<std::uint64_t>(NumThreads));
+  EXPECT_GE(S.Events,
+            static_cast<std::uint64_t>(NumThreads) * PerThread * 3);
+}
+
+TEST(TraceTest, GaugesRegisterAndPublish) {
+  searchFrontierGauge().set(17);
+  searchVisitedGauge().set(23);
+  EXPECT_EQ(searchFrontierGauge().value(), 17u);
+  EXPECT_EQ(searchVisitedGauge().value(), 23u);
+  bool FoundFrontier = false;
+  for (Gauge *G : allGauges())
+    FoundFrontier |= std::string(G->group()) == "search" &&
+                     std::string(G->name()) == "frontier";
+  EXPECT_TRUE(FoundFrontier);
+  searchFrontierGauge().set(0);
+  searchVisitedGauge().set(0);
+}
+
+TEST(TraceTest, ProgressMeterEmitsFinalSample) {
+  TraceTestGuard G;
+  {
+    // Destroyed well inside the interval: the destructor's final sample
+    // must still fire.
+    ProgressMeter Meter(/*IntervalSec=*/60.0);
+  }
+  traceStop();
+  std::ostringstream OS;
+  traceRenderJsonl(OS);
+  EXPECT_NE(OS.str().find("\"cat\":\"progress\",\"name\":\"nodes\""),
+            std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("\"name\":\"cache_hit_pct\""), std::string::npos);
+}
+
+} // namespace
+} // namespace psopt

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -215,6 +216,85 @@ TEST(CliTest, FuzzCatchesUnsafePassAndPrintsSeedAndPipeline) {
   EXPECT_NE(R.Output.find("FAILURE[refinement]"), std::string::npos);
   EXPECT_NE(R.Output.find("seed=11"), std::string::npos);
   EXPECT_NE(R.Output.find("pipeline=unsafe-dce"), std::string::npos);
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream F(Path);
+  std::string Out((std::istreambuf_iterator<char>(F)),
+                  std::istreambuf_iterator<char>());
+  return Out;
+}
+
+TEST(CliTest, TraceOutAndProgressRoundTrip) {
+  std::string P = writeTemp("cli_trace_mp.psopt", MpProgram);
+  std::string TracePath = std::string(::testing::TempDir()) + "cli_trace.json";
+  CliResult R = runCli("explore --jobs=2 --trace-out=" + TracePath +
+                       " --progress=1 " + P);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // explore's summary reports wall-clock and throughput.
+  EXPECT_NE(R.Output.find("wall="), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("nodes/s)"), std::string::npos) << R.Output;
+  // The heartbeat always fires at least once (the final sample).
+  EXPECT_NE(R.Output.find("[psopt] final"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("cache-hit="), std::string::npos) << R.Output;
+
+  std::string Trace = slurp(TracePath);
+  ASSERT_FALSE(Trace.empty());
+  // A Chrome trace-event file with per-worker spans and the heartbeat's
+  // counter series.
+  EXPECT_EQ(Trace.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(Trace.find("\"name\":\"worker\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"name\":\"search\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"cat\":\"progress\""), std::string::npos) << Trace;
+  std::remove(TracePath.c_str());
+}
+
+TEST(CliTest, FuzzEmitsOnePerRunJsonlRecord) {
+  std::string JsonlPath = std::string(::testing::TempDir()) + "cli_fuzz.jsonl";
+  CliResult R = runCli("fuzz --runs=3 --seed=5 --passes=dce --no-shrink "
+                       "--no-differential --trace-jsonl=" + JsonlPath);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Jsonl = slurp(JsonlPath);
+  std::size_t Records = 0, Pos = 0;
+  const std::string Needle = "\"cat\":\"fuzz\",\"name\":\"run\"";
+  while ((Pos = Jsonl.find(Needle, Pos)) != std::string::npos) {
+    ++Records;
+    ++Pos;
+  }
+  EXPECT_EQ(Records, 3u) << Jsonl;
+  // Per-run records carry the replay coordinates and run-local deltas.
+  EXPECT_NE(Jsonl.find("\"seed\":5"), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"pipeline\":\"dce\""), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"verdict\":\"ok\""), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"nodes\":"), std::string::npos) << Jsonl;
+  EXPECT_NE(Jsonl.find("\"duration_ms\":"), std::string::npos) << Jsonl;
+  std::remove(JsonlPath.c_str());
+}
+
+TEST(CliTest, StatsFormatJson) {
+  std::string P = writeTemp("cli_stats_mp.psopt", MpProgram);
+  CliResult R = runCli("explore --stats-format=json " + P);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("{\"counters\": {"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"timers\": {"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"explore.nodes\": "), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"explore.search\": {\"seconds\": "),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(CliTest, TelemetryFlagsAreGlobal) {
+  // --stats is accepted by every subcommand, not just the search ones.
+  std::string P = writeTemp("cli_stats_lint.psopt", MpProgram);
+  CliResult Lint = runCli("lint --stats " + P);
+  EXPECT_EQ(Lint.ExitCode, 0) << Lint.Output;
+  CliResult Opt = runCli("optimize --passes=dce --stats " + P);
+  EXPECT_EQ(Opt.ExitCode, 0) << Opt.Output;
+  EXPECT_NE(Opt.Output.find("opt.dce = "), std::string::npos) << Opt.Output;
+  // Unknown flags are still rejected.
+  EXPECT_EQ(runCli("lint --jobs=2 " + P).ExitCode, 2);
 }
 
 TEST(CliTest, FuzzReplaysTheCheckedInCorpus) {

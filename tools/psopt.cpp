@@ -34,8 +34,9 @@
 // rejected instead of silently ignored. explore/refine/equiv/fuzz accept
 // --cert-cache=on|off (default on) and --reduce=on|off|legacy (default on;
 // `legacy` disables the footprint-analysis-guided fusion inside the
-// reduction, for ablations — see DESIGN.md sections 10 and 13). --stats
-// prints the internal statistic counters after any command.
+// reduction, for ablations — see DESIGN.md sections 10 and 13). The
+// telemetry flags --stats, --stats-format, --trace-out, --trace-jsonl and
+// --progress are global: every command accepts them (DESIGN.md §14).
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,10 +54,13 @@
 #include "race/RWRace.h"
 #include "race/WWRace.h"
 #include "support/Statistic.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -74,6 +78,10 @@ struct Options {
   bool ReduceOn = true;
   bool AnalysisFusion = true; ///< --reduce=legacy turns this off
   bool Stats = false;
+  std::string StatsFormat = "text"; ///< --stats-format=text|json
+  std::string TraceOut;             ///< Chrome trace-event JSON path
+  std::string TraceJsonl;           ///< compact JSONL trace path
+  double ProgressSec = 0;           ///< heartbeat interval; 0 = off
   std::uint64_t MaxNodes = 2'000'000;
   bool MaxNodesSet = false;
   unsigned Jobs = 1;
@@ -114,6 +122,10 @@ enum class Flag {
   CertCache,
   Reduce,
   Stats,
+  StatsFormat,
+  TraceOut,
+  TraceJsonl,
+  Progress,
   MaxNodes,
   Jobs,
   Passes,
@@ -172,6 +184,44 @@ const FlagSpec FlagTable[] = {
     {Flag::Stats, "--stats",
      [](Options &O, const std::string &) {
        O.Stats = true;
+       return true;
+     }},
+    {Flag::StatsFormat, "--stats-format=",
+     [](Options &O, const std::string &V) {
+       if (V != "text" && V != "json")
+         return false;
+       O.StatsFormat = V;
+       O.Stats = true; // asking for a format implies asking for the stats
+       return true;
+     }},
+    {Flag::TraceOut, "--trace-out=",
+     [](Options &O, const std::string &V) {
+       if (V.empty())
+         return false;
+       O.TraceOut = V;
+       return true;
+     }},
+    {Flag::TraceJsonl, "--trace-jsonl=",
+     [](Options &O, const std::string &V) {
+       if (V.empty())
+         return false;
+       O.TraceJsonl = V;
+       return true;
+     }},
+    // The bare spelling must precede "--progress=" in this table: the
+    // matcher reports "requires a value" the first time a '='-spelling's
+    // stem matches exactly, so the valueless entry has to win first.
+    {Flag::Progress, "--progress",
+     [](Options &O, const std::string &) {
+       O.ProgressSec = 1.0;
+       return true;
+     }},
+    {Flag::Progress, "--progress=",
+     [](Options &O, const std::string &V) {
+       std::uint64_t N;
+       if (!parseU64(V, N) || N == 0 || N > 3600)
+         return false;
+       O.ProgressSec = static_cast<double>(N);
        return true;
      }},
     {Flag::MaxNodes, "--max-nodes=",
@@ -278,31 +328,40 @@ struct CommandSpec {
   std::vector<Flag> Flags;
 };
 
+/// Telemetry flags every subcommand accepts (DESIGN.md §14): counters,
+/// traces and the progress heartbeat are cross-cutting, so they are not
+/// listed per command.
+const std::vector<Flag> &globalFlags() {
+  static const std::vector<Flag> Flags = {
+      Flag::Stats, Flag::StatsFormat, Flag::TraceOut, Flag::TraceJsonl,
+      Flag::Progress};
+  return Flags;
+}
+
 const std::vector<CommandSpec> &commandTable() {
   static const std::vector<CommandSpec> Table = {
       {"explore", cmdExplore, 1, 1,
        {Flag::Np, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
-        Flag::CertCache, Flag::Reduce, Flag::Stats}},
+        Flag::CertCache, Flag::Reduce}},
       {"race", cmdRace, 1, 1,
        {Flag::Np, Flag::Rw, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
-        Flag::CertCache, Flag::Stats}},
-      {"lint", cmdLint, 1, 1, {Flag::Format, Flag::Stats}},
-      {"optimize", cmdOptimize, 1, 1, {Flag::Passes, Flag::Stats}},
+        Flag::CertCache}},
+      {"lint", cmdLint, 1, 1, {Flag::Format}},
+      {"optimize", cmdOptimize, 1, 1, {Flag::Passes}},
       {"refine", cmdRefine, 2, 2,
        {Flag::Np, Flag::NoPromises, Flag::MaxNodes, Flag::Jobs,
-        Flag::CertCache, Flag::Reduce, Flag::Stats}},
+        Flag::CertCache, Flag::Reduce}},
       {"equiv", cmdEquiv, 1, 1,
        {Flag::NoPromises, Flag::MaxNodes, Flag::Jobs, Flag::CertCache,
-        Flag::Reduce, Flag::Stats}},
+        Flag::Reduce}},
       {"witness", cmdWitness, 1, 1,
        {Flag::Np, Flag::NoPromises, Flag::Trace, Flag::End, Flag::MaxNodes,
-        Flag::CertCache, Flag::Stats}},
-      {"litmus", cmdLitmus, 0, 1, {Flag::Stats}},
+        Flag::CertCache}},
+      {"litmus", cmdLitmus, 0, 1, {}},
       {"fuzz", cmdFuzz, 0, 0,
        {Flag::Seed, Flag::Runs, Flag::Jobs, Flag::Passes, Flag::Promises,
         Flag::NoShrink, Flag::NoDifferential, Flag::TimeBudget, Flag::Corpus,
-        Flag::Replay, Flag::MaxNodes, Flag::CertCache, Flag::Reduce,
-        Flag::Stats}},
+        Flag::Replay, Flag::MaxNodes, Flag::CertCache, Flag::Reduce}},
   };
   return Table;
 }
@@ -348,7 +407,15 @@ int usage() {
       "sync chains, mixed-mode atomics, dominated fences and never-read\n"
       "atomics; exit 1 when race candidates exist. --format=json is the\n"
       "machine-readable form.\n"
-      "--stats prints the internal statistic counters after any command.\n"
+      "Telemetry flags, accepted by every command (DESIGN.md section 14):\n"
+      "  --stats                 print counters and phase timers at exit\n"
+      "  --stats-format=text|json  machine-readable stats (implies --stats)\n"
+      "  --trace-out=FILE        write a Chrome trace-event JSON file\n"
+      "                          (load in Perfetto / chrome://tracing)\n"
+      "  --trace-jsonl=FILE      write the trace as compact JSONL\n"
+      "  --progress[=SEC]        heartbeat on stderr every SEC seconds\n"
+      "                          (default 1): nodes/s, frontier, visited,\n"
+      "                          cache hit-rate\n"
       "fuzz generates seeded random programs, runs a (random) verified-pass\n"
       "pipeline, and checks target-refines-source against the exploration\n"
       "oracle, cross-validating --jobs and the cert cache; failures are\n"
@@ -392,6 +459,8 @@ bool parseArgs(int argc, char **argv, const CommandSpec &Spec, Options &O) {
     }
     bool Accepted = false;
     for (Flag F : Spec.Flags)
+      Accepted |= F == Match->F;
+    for (Flag F : globalFlags())
       Accepted |= F == Match->F;
     if (!Accepted) {
       std::fprintf(stderr, "flag %s is not accepted by `psopt %s`\n",
@@ -465,12 +534,17 @@ int cmdExplore(const Options &O) {
   Program P;
   if (O.Positional.empty() || !loadProgram(O.Positional[0], P))
     return 2;
+  Timer Wall;
   BehaviorSet B = exploreWith(O, P);
+  double Sec = Wall.elapsedSec();
   std::printf("%s", B.str().c_str());
   std::printf("nodes=%llu unique_states=%llu transitions=%llu\n",
               static_cast<unsigned long long>(B.NodesVisited),
               static_cast<unsigned long long>(B.UniqueStates),
               static_cast<unsigned long long>(B.Transitions));
+  std::printf("wall=%.3fs (%.1fk nodes/s)\n", Sec,
+              Sec > 0 ? static_cast<double>(B.NodesVisited) / Sec / 1000.0
+                      : 0.0);
   return 0;
 }
 
@@ -523,7 +597,7 @@ int cmdOptimize(const Options &O) {
       std::fprintf(stderr, "unknown pass: %s\n", Name.c_str());
       return 2;
     }
-    Cur = Pass_->run(Cur);
+    Cur = runPassInstrumented(*Pass_, Cur);
   }
   std::printf("%s", printProgram(Cur).c_str());
   return 0;
@@ -709,8 +783,32 @@ int main(int argc, char **argv) {
   Options O;
   if (!parseArgs(argc, argv, *Spec, O))
     return usage();
-  int Ret = Spec->Handler(O);
-  if (O.Stats)
-    std::printf("%s", formatStatistics().c_str());
+  if (!O.TraceOut.empty() || !O.TraceJsonl.empty())
+    traceStart();
+  int Ret;
+  {
+    // The heartbeat lives in this scope so its final sample (and the
+    // counter events it emits when tracing) land before the export.
+    std::optional<ProgressMeter> Meter;
+    if (O.ProgressSec > 0)
+      Meter.emplace(O.ProgressSec);
+    Ret = Spec->Handler(O);
+  }
+  std::string Err;
+  if (!O.TraceOut.empty() && !traceWriteChrome(O.TraceOut, Err))
+    std::fprintf(stderr, "cannot write %s: %s\n", O.TraceOut.c_str(),
+                 Err.c_str());
+  if (!O.TraceJsonl.empty() && !traceWriteJsonl(O.TraceJsonl, Err))
+    std::fprintf(stderr, "cannot write %s: %s\n", O.TraceJsonl.c_str(),
+                 Err.c_str());
+  if (O.Stats) {
+    if (O.StatsFormat == "json")
+      std::printf("{\"counters\": %s, \"timers\": %s}\n",
+                  formatStatisticsJson().c_str(),
+                  formatPhaseTimersJson().c_str());
+    else
+      std::printf("%s%s", formatStatistics().c_str(),
+                  formatPhaseTimers().c_str());
+  }
   return Ret;
 }
